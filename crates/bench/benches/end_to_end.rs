@@ -1,0 +1,44 @@
+//! End-to-end benchmarks: complete analyses on the paper's benchmarks with
+//! reduced budgets (the per-table experiments, timed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mini_gsl::hyperg::Hyperg2F0;
+use mini_gsl::toy::Fig2Program;
+use std::hint::black_box;
+use wdm_core::boundary::BoundaryAnalysis;
+use wdm_core::driver::AnalysisConfig;
+use wdm_core::overflow::OverflowDetector;
+use wdm_core::path::PathAnalysis;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("boundary/fig2_find_any", |b| {
+        let analysis = BoundaryAnalysis::new(Fig2Program::new());
+        b.iter(|| black_box(analysis.find_any(&AnalysisConfig::quick(3).with_max_evals(5_000))))
+    });
+
+    group.bench_function("path/fig2_both_branches", |b| {
+        let analysis = PathAnalysis::new(Fig2Program::new());
+        let path = vec![
+            (fp_runtime::BranchId(0), true),
+            (fp_runtime::BranchId(1), true),
+        ];
+        b.iter(|| black_box(analysis.reach(&path, &AnalysisConfig::quick(3).with_max_evals(5_000))))
+    });
+
+    group.bench_function("overflow/hyperg_algorithm3", |b| {
+        let detector = OverflowDetector::new(Hyperg2F0::new());
+        b.iter(|| {
+            black_box(detector.run(
+                &AnalysisConfig::quick(3).with_rounds(1).with_max_evals(4_000),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

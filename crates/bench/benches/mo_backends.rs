@@ -1,0 +1,52 @@
+//! Micro-benchmarks: throughput of the MO backends on a weak-distance-shaped
+//! objective (Table 1's backends compared head to head).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wdm_mo::{
+    BasinHopping, Bounds, DifferentialEvolution, FnObjective, GlobalMinimizer, NoTrace, Powell,
+    Problem,
+};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mo_backends");
+    group.sample_size(10);
+
+    let objective = FnObjective::new(1, |x: &[f64]| (x[0] - 1.0).abs() * (x[0] + 3.0).abs());
+
+    group.bench_function("basinhopping/two_zero_product", |b| {
+        b.iter(|| {
+            let problem = Problem::new(&objective, Bounds::symmetric(1, 1.0e4))
+                .with_target(0.0)
+                .with_max_evals(5_000);
+            black_box(BasinHopping::default().with_hops(20).minimize(&problem, 7, &mut NoTrace))
+        })
+    });
+
+    group.bench_function("differential_evolution/two_zero_product", |b| {
+        b.iter(|| {
+            let problem = Problem::new(&objective, Bounds::symmetric(1, 1.0e4))
+                .with_target(0.0)
+                .with_max_evals(5_000);
+            black_box(
+                DifferentialEvolution::default()
+                    .with_max_generations(50)
+                    .minimize(&problem, 7, &mut NoTrace),
+            )
+        })
+    });
+
+    group.bench_function("powell/two_zero_product", |b| {
+        b.iter(|| {
+            let problem = Problem::new(&objective, Bounds::symmetric(1, 1.0e4))
+                .with_target(0.0)
+                .with_max_evals(5_000);
+            black_box(Powell::default().minimize(&problem, 7, &mut NoTrace))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

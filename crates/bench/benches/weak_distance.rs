@@ -1,0 +1,55 @@
+//! Micro-benchmarks: cost of one weak-distance evaluation for each analysis
+//! instance (the inner loop of every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mini_gsl::bessel::BesselKnuScaled;
+use mini_gsl::glibc_sin::GlibcSin;
+use mini_gsl::toy::Fig2Program;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use wdm_core::boundary::{BoundaryMode, BoundaryWeakDistance};
+use wdm_core::overflow::OverflowWeakDistance;
+use wdm_core::path::PathWeakDistance;
+use wdm_core::weak_distance::WeakDistance;
+
+fn bench_weak_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_distance_eval");
+    group.sample_size(30);
+
+    let boundary = BoundaryWeakDistance::new(Fig2Program::new());
+    group.bench_function("boundary/fig2", |b| {
+        b.iter(|| black_box(boundary.eval(black_box(&[0.37]))))
+    });
+
+    let characteristic =
+        BoundaryWeakDistance::new(Fig2Program::new()).with_mode(BoundaryMode::Characteristic);
+    group.bench_function("boundary/fig2_characteristic", |b| {
+        b.iter(|| black_box(characteristic.eval(black_box(&[0.37]))))
+    });
+
+    let sin_boundary = BoundaryWeakDistance::new(GlibcSin::new());
+    group.bench_function("boundary/glibc_sin", |b| {
+        b.iter(|| black_box(sin_boundary.eval(black_box(&[1.234]))))
+    });
+
+    let path = PathWeakDistance::new(
+        Fig2Program::new(),
+        vec![
+            (fp_runtime::BranchId(0), true),
+            (fp_runtime::BranchId(1), true),
+        ],
+    );
+    group.bench_function("path/fig2", |b| {
+        b.iter(|| black_box(path.eval(black_box(&[2.5]))))
+    });
+
+    let overflow = OverflowWeakDistance::new(BesselKnuScaled::new(), BTreeSet::new());
+    group.bench_function("overflow/bessel", |b| {
+        b.iter(|| black_box(overflow.eval(black_box(&[1.5, 20.0]))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak_distances);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 4(b,c): the path-reachability weak distance (both
+//! branches of the Fig. 2 program) and the sampling sequence.
+
+fn main() {
+    let fig = wdm_bench::fig4(42);
+    println!("Figure 4(b): W(x) on a grid over [-6, 6] (zero on the solution space [-3, 1])");
+    for (x, w) in fig.graph.x.iter().zip(&fig.graph.w).step_by(8) {
+        println!("  W({x:>6.2}) = {w:.4}");
+    }
+    let inside = fig
+        .samples
+        .iter()
+        .filter(|&&x| (-3.0..=1.0).contains(&x))
+        .count();
+    println!(
+        "Figure 4(c): {} samples recorded, {} inside the solution space, {} with W = 0",
+        fig.samples.len(),
+        inside,
+        fig.zero_hits
+    );
+    wdm_bench::write_json("fig4", &fig);
+}

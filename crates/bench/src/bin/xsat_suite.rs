@@ -1,0 +1,23 @@
+//! Runs the XSat (Instance 5) sanity suite: small QF-FP formulas solved via
+//! weak-distance minimization.
+
+fn main() {
+    let cases = wdm_bench::xsat_suite(42);
+    println!("XSat instance: quantifier-free FP satisfiability via weak-distance minimization");
+    println!("{:<45} {:>9} {:>9}  model", "formula", "expected", "found");
+    for case in &cases {
+        let model = case
+            .model
+            .as_ref()
+            .map(|m| format!("{m:?}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<45} {:>9} {:>9}  {}",
+            case.formula,
+            if case.expected_sat { "sat" } else { "unsat" },
+            if case.found_sat { "sat" } else { "unknown" },
+            model
+        );
+    }
+    wdm_bench::write_json("xsat_suite", &cases);
+}

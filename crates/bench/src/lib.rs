@@ -1,0 +1,19 @@
+//! Experiment harness regenerating the tables and figures of the paper.
+//!
+//! Each public function corresponds to one experiment of Section 6; the
+//! binaries in `src/bin/` are thin wrappers that run them and print the
+//! resulting tables (and write a JSON record next to the text output).
+//! Absolute numbers differ from the paper (different machine, pure-Rust
+//! substrate), but the qualitative shape — which backend finds what, which
+//! operations overflow, which inconsistencies appear — is the reproduction
+//! target; see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod restricted;
+
+pub use experiments::*;
+pub use report::write_json;
+pub use restricted::Restricted;

@@ -1,0 +1,46 @@
+//! JSON report output shared by the experiment binaries.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Writes `value` as pretty JSON under `target/experiments/<name>.json` and
+/// returns the path written. Failures are reported but not fatal (the text
+/// table on stdout is the primary output).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                return None;
+            }
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Dummy {
+        value: f64,
+    }
+
+    #[test]
+    fn writes_json_file() {
+        let path = write_json("unit_test_dummy", &Dummy { value: 1.5 }).expect("written");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("1.5"));
+    }
+}

@@ -1,0 +1,67 @@
+//! A wrapper restricting the search domain of a benchmark program.
+
+use fp_runtime::{Analyzable, BranchSite, Ctx, Interval, OpSite};
+
+/// Wraps an [`Analyzable`] program, overriding its search domain (used by
+/// the GNU `sin` study to search the positive and negative half-lines
+/// separately, which is how Table 2 distinguishes the `+` and `-` boundary
+/// values of each condition).
+#[derive(Debug, Clone)]
+pub struct Restricted<P> {
+    inner: P,
+    domain: Vec<Interval>,
+}
+
+impl<P: Analyzable> Restricted<P> {
+    /// Restricts `inner` to the given box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match.
+    pub fn new(inner: P, domain: Vec<Interval>) -> Self {
+        assert_eq!(domain.len(), inner.num_inputs(), "domain arity mismatch");
+        Restricted { inner, domain }
+    }
+}
+
+impl<P: Analyzable> Analyzable for Restricted<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        self.domain.clone()
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        self.inner.op_sites()
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        self.inner.branch_sites()
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        self.inner.execute(input, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_runtime::NullObserver;
+    use mini_gsl::toy::Fig2Program;
+
+    #[test]
+    fn overrides_domain_only() {
+        let r = Restricted::new(Fig2Program::new(), vec![Interval::new(0.0, 5.0)]);
+        assert_eq!(r.search_domain()[0].lo(), 0.0);
+        assert_eq!(r.num_inputs(), 1);
+        assert_eq!(r.branch_sites().len(), 2);
+        assert_eq!(r.run(&[0.5], &mut NullObserver), Some(0.5));
+    }
+}

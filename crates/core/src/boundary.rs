@@ -1,0 +1,312 @@
+//! Instance 1: boundary value analysis (Section 4.2, Fig. 3).
+//!
+//! The boundary conditions of a program are the equality constraints
+//! `lhs == rhs` underlying its arithmetic comparisons. The weak distance of
+//! Fig. 3 multiplies `w` (initialized to 1) by `|lhs - rhs|` before every
+//! executed branch, so `w` is zero exactly when some executed branch sits on
+//! its boundary.
+
+use crate::driver::{minimize_weak_distance, AnalysisConfig, MinimizationRun, Outcome};
+use crate::weak_distance::WeakDistance;
+use fp_runtime::{Analyzable, BranchEvent, BranchId, Interval, Observer, ProbeControl};
+use std::collections::BTreeMap;
+
+/// How the per-branch residuals are folded into `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryMode {
+    /// Fig. 3(a): `w = w * |lhs - rhs|` at every executed branch
+    /// (`w` starts at 1). Zero iff *some* executed branch is on its boundary.
+    Product,
+    /// Target a single branch site: `w` is the smallest `|lhs - rhs|`
+    /// observed at that site (a large penalty if the site never executes).
+    Single(BranchId),
+    /// The Fig. 7 characteristic function: 0 if some executed branch is on
+    /// its boundary, 1 otherwise. A valid weak distance, but flat — the
+    /// ablation baseline.
+    Characteristic,
+    /// Squared residuals `(lhs - rhs)^2` instead of absolute values — the
+    /// Section 5.2 variant that underflows (ablation).
+    SquaredResidual,
+}
+
+/// Penalty used when a targeted branch site never executes.
+const UNREACHED_PENALTY: f64 = 1.0e300;
+
+struct BoundaryObserver {
+    mode: BoundaryMode,
+    w: f64,
+}
+
+impl BoundaryObserver {
+    fn new(mode: BoundaryMode) -> Self {
+        let w = match mode {
+            BoundaryMode::Product | BoundaryMode::SquaredResidual | BoundaryMode::Characteristic => 1.0,
+            BoundaryMode::Single(_) => UNREACHED_PENALTY,
+        };
+        BoundaryObserver { mode, w }
+    }
+}
+
+impl Observer for BoundaryObserver {
+    fn on_branch(&mut self, ev: &BranchEvent) -> ProbeControl {
+        let residual = ev.boundary_residual();
+        match self.mode {
+            BoundaryMode::Product => self.w *= residual,
+            BoundaryMode::SquaredResidual => self.w *= residual * residual,
+            BoundaryMode::Characteristic => {
+                if residual == 0.0 {
+                    self.w = 0.0;
+                }
+            }
+            BoundaryMode::Single(target) => {
+                if ev.id == target && residual < self.w {
+                    self.w = residual;
+                }
+            }
+        }
+        ProbeControl::Continue
+    }
+}
+
+/// The boundary-value weak distance of a program.
+#[derive(Debug, Clone)]
+pub struct BoundaryWeakDistance<P> {
+    program: P,
+    mode: BoundaryMode,
+}
+
+impl<P: Analyzable> BoundaryWeakDistance<P> {
+    /// Creates the Fig. 3 (product) weak distance.
+    pub fn new(program: P) -> Self {
+        BoundaryWeakDistance {
+            program,
+            mode: BoundaryMode::Product,
+        }
+    }
+
+    /// Selects a different folding mode.
+    pub fn with_mode(mut self, mode: BoundaryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+}
+
+impl<P: Analyzable> WeakDistance for BoundaryWeakDistance<P> {
+    fn dim(&self) -> usize {
+        self.program.num_inputs()
+    }
+
+    fn domain(&self) -> Vec<Interval> {
+        self.program.search_domain()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        let mut obs = BoundaryObserver::new(self.mode);
+        self.program.run(x, &mut obs);
+        obs.w
+    }
+
+    fn description(&self) -> String {
+        format!("boundary weak distance of {} ({:?})", self.program.name(), self.mode)
+    }
+}
+
+/// Per-condition summary produced by [`BoundaryAnalysis::find_all`].
+#[derive(Debug, Clone)]
+pub struct ConditionReport {
+    /// The branch site.
+    pub site: BranchId,
+    /// Human-readable label of the branch.
+    pub label: String,
+    /// A boundary value triggering the condition, if one was found.
+    pub witness: Option<Vec<f64>>,
+    /// Best (smallest) weak-distance value observed for this condition.
+    pub best_value: f64,
+    /// Objective evaluations spent on this condition.
+    pub evals: usize,
+}
+
+impl ConditionReport {
+    /// Returns `true` if the condition was triggered.
+    pub fn reached(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Boundary value analysis of an [`Analyzable`] program.
+#[derive(Debug, Clone)]
+pub struct BoundaryAnalysis<P> {
+    program: P,
+}
+
+impl<P: Analyzable> BoundaryAnalysis<P> {
+    /// Creates the analysis.
+    pub fn new(program: P) -> Self {
+        BoundaryAnalysis { program }
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Finds *some* boundary value (any condition), as in Fig. 3.
+    pub fn find_any(&self, config: &AnalysisConfig) -> Outcome {
+        self.find_any_run(config).outcome
+    }
+
+    /// Like [`BoundaryAnalysis::find_any`] but returns the full minimization
+    /// run (including the sampling trace used for Fig. 3(c)).
+    pub fn find_any_run(&self, config: &AnalysisConfig) -> MinimizationRun {
+        let wd = BoundaryWeakDistance {
+            program: &self.program,
+            mode: BoundaryMode::Product,
+        };
+        minimize_weak_distance(&wd, config)
+    }
+
+    /// Finds a boundary value for one specific condition.
+    pub fn find_condition(&self, site: BranchId, config: &AnalysisConfig) -> Outcome {
+        let wd = BoundaryWeakDistance {
+            program: &self.program,
+            mode: BoundaryMode::Single(site),
+        };
+        minimize_weak_distance(&wd, config).outcome
+    }
+
+    /// Runs [`BoundaryAnalysis::find_condition`] for every declared branch
+    /// site (the Table 2 / Fig. 9 experiment shape).
+    pub fn find_all(&self, config: &AnalysisConfig) -> Vec<ConditionReport> {
+        self.program
+            .branch_sites()
+            .into_iter()
+            .map(|site| {
+                let outcome = self.find_condition(site.id, config);
+                match outcome {
+                    Outcome::Found { input, evals } => ConditionReport {
+                        site: site.id,
+                        label: site.label.clone(),
+                        witness: Some(input),
+                        best_value: 0.0,
+                        evals,
+                    },
+                    Outcome::NotFound {
+                        best_value, evals, ..
+                    } => ConditionReport {
+                        site: site.id,
+                        label: site.label.clone(),
+                        witness: None,
+                        best_value,
+                        evals,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Soundness check (Section 6.2(i)): runs the program on `input` and
+    /// returns the branch sites whose boundary condition it triggers
+    /// (`lhs == rhs` observed at the site).
+    pub fn triggered_conditions(&self, input: &[f64]) -> Vec<BranchId> {
+        struct Collect {
+            hits: BTreeMap<BranchId, bool>,
+        }
+        impl Observer for Collect {
+            fn on_branch(&mut self, ev: &BranchEvent) -> ProbeControl {
+                if ev.lhs == ev.rhs {
+                    self.hits.insert(ev.id, true);
+                }
+                ProbeControl::Continue
+            }
+        }
+        let mut obs = Collect {
+            hits: BTreeMap::new(),
+        };
+        self.program.run(input, &mut obs);
+        obs.hits.into_keys().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_gsl::toy::Fig2Program;
+
+    #[test]
+    fn product_weak_distance_matches_fig3_values() {
+        let wd = BoundaryWeakDistance::new(Fig2Program::new());
+        // Known zeros: -3, 1, 2 (Fig. 3(b)).
+        assert_eq!(wd.eval(&[-3.0]), 0.0);
+        assert_eq!(wd.eval(&[1.0]), 0.0);
+        assert_eq!(wd.eval(&[2.0]), 0.0);
+        // W(0.5) = |0.5 - 1| * |2.25 - 4| = 0.875.
+        assert!((wd.eval(&[0.5]) - 0.875).abs() < 1e-12);
+        assert!(wd.eval(&[10.0]) > 0.0);
+    }
+
+    #[test]
+    fn weak_distance_axioms_hold_on_samples() {
+        let wd = BoundaryWeakDistance::new(Fig2Program::new());
+        let samples: Vec<Vec<f64>> = (-50..50).map(|i| vec![i as f64 * 0.31]).collect();
+        let refs: Vec<&[f64]> = samples.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(wd.check_nonnegative(refs), None);
+    }
+
+    #[test]
+    fn find_any_returns_a_true_boundary_value() {
+        let analysis = BoundaryAnalysis::new(Fig2Program::new());
+        let outcome = analysis.find_any(&AnalysisConfig::quick(11));
+        let input = outcome.into_input().expect("boundary value exists");
+        assert!(
+            !analysis.triggered_conditions(&input).is_empty(),
+            "reported input {input:?} does not trigger a boundary condition"
+        );
+    }
+
+    #[test]
+    fn find_all_covers_both_conditions_of_fig2() {
+        let analysis = BoundaryAnalysis::new(Fig2Program::new());
+        let reports = analysis.find_all(&AnalysisConfig::quick(5));
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.reached(), "condition {} not reached", r.label);
+            let witness = r.witness.clone().unwrap();
+            assert!(analysis.triggered_conditions(&witness).contains(&r.site));
+        }
+    }
+
+    #[test]
+    fn single_mode_penalizes_unreached_sites() {
+        // Branch 1 of Fig. 2 executes on every input, but a program input of
+        // huge magnitude keeps |y - 4| large.
+        let wd = BoundaryWeakDistance::new(Fig2Program::new()).with_mode(BoundaryMode::Single(BranchId(1)));
+        assert!(wd.eval(&[1.0e3]) > 0.0);
+        assert_eq!(wd.eval(&[2.0]), 0.0);
+    }
+
+    #[test]
+    fn characteristic_mode_is_flat_but_sound() {
+        let wd = BoundaryWeakDistance::new(Fig2Program::new()).with_mode(BoundaryMode::Characteristic);
+        assert_eq!(wd.eval(&[2.0]), 0.0);
+        assert_eq!(wd.eval(&[0.5]), 1.0);
+        assert_eq!(wd.eval(&[17.3]), 1.0);
+    }
+
+    #[test]
+    fn squared_residual_mode_underflows_limitation2() {
+        // The Section 5.2 example: for `if (x == 0)` a squared residual
+        // underflows to 0 for tiny nonzero x, producing a spurious zero of
+        // the weak distance — Limitation 2. The absolute-value encoding does
+        // not.
+        use mini_gsl::toy::EqZeroProgram;
+        let wd = BoundaryWeakDistance::new(EqZeroProgram::new()).with_mode(BoundaryMode::SquaredResidual);
+        assert_eq!(wd.eval(&[1.0e-200]), 0.0, "squared residual underflowed as expected");
+        let wd_abs = BoundaryWeakDistance::new(EqZeroProgram::new());
+        assert!(wd_abs.eval(&[1.0e-200]) > 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Instance 4: branch-coverage-based testing (the CoverMe construction).
+//!
+//! The tester keeps the set `B` of already-covered `(branch, direction)`
+//! pairs and repeatedly minimizes a weak distance that is zero exactly when
+//! the execution covers something outside `B`. Generated inputs accumulate
+//! into a test suite; the loop stops when everything reachable is covered or
+//! the round budget is exhausted.
+
+use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
+use crate::weak_distance::WeakDistance;
+use fp_runtime::{
+    Analyzable, BranchCoverage, BranchEvent, BranchId, Interval, Observer, ProbeControl,
+};
+use std::collections::BTreeSet;
+
+/// Penalty when the targeted branch site is never reached.
+const UNREACHED_PENALTY: f64 = 1.0e300;
+
+struct CoverageObserver<'c> {
+    covered: &'c BTreeSet<(BranchId, bool)>,
+    w: f64,
+}
+
+impl Observer for CoverageObserver<'_> {
+    fn on_branch(&mut self, ev: &BranchEvent) -> ProbeControl {
+        // Covering anything new makes w zero immediately.
+        if !self.covered.contains(&(ev.id, ev.taken)) {
+            self.w = 0.0;
+            return ProbeControl::Stop;
+        }
+        // Otherwise, reward getting close to flipping this branch if its
+        // opposite direction is still uncovered.
+        if !self.covered.contains(&(ev.id, !ev.taken)) {
+            let d = ev.distance_to(!ev.taken).max(f64::MIN_POSITIVE);
+            if d < self.w {
+                self.w = d;
+            }
+        }
+        ProbeControl::Continue
+    }
+}
+
+/// The CoverMe-style weak distance: zero exactly on inputs that cover a
+/// `(branch, direction)` pair outside `covered`.
+#[derive(Debug, Clone)]
+pub struct CoverageWeakDistance<P> {
+    program: P,
+    covered: BTreeSet<(BranchId, bool)>,
+}
+
+impl<P: Analyzable> CoverageWeakDistance<P> {
+    /// Creates the weak distance for the given covered set `B`.
+    pub fn new(program: P, covered: BTreeSet<(BranchId, bool)>) -> Self {
+        CoverageWeakDistance { program, covered }
+    }
+}
+
+impl<P: Analyzable> WeakDistance for CoverageWeakDistance<P> {
+    fn dim(&self) -> usize {
+        self.program.num_inputs()
+    }
+
+    fn domain(&self) -> Vec<Interval> {
+        self.program.search_domain()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        let mut obs = CoverageObserver {
+            covered: &self.covered,
+            w: UNREACHED_PENALTY,
+        };
+        self.program.run(x, &mut obs);
+        obs.w
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "coverage weak distance of {} ({} pairs covered)",
+            self.program.name(),
+            self.covered.len()
+        )
+    }
+}
+
+/// Result of the coverage campaign.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// The generated test inputs.
+    pub suite: Vec<Vec<f64>>,
+    /// Covered `(branch, direction)` pairs.
+    pub covered: BTreeSet<(BranchId, bool)>,
+    /// Total number of `(branch, direction)` pairs declared by the program.
+    pub total_pairs: usize,
+    /// Minimization rounds run.
+    pub rounds: usize,
+}
+
+impl CoverageReport {
+    /// Branch coverage as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.covered.len() as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// Branch-coverage-based testing of an [`Analyzable`] program.
+#[derive(Debug, Clone)]
+pub struct CoverageAnalysis<P> {
+    program: P,
+}
+
+impl<P: Analyzable> CoverageAnalysis<P> {
+    /// Creates the analysis.
+    pub fn new(program: P) -> Self {
+        CoverageAnalysis { program }
+    }
+
+    /// Runs the coverage campaign, optionally seeded with initial inputs.
+    pub fn run(&self, seeds: &[Vec<f64>], config: &AnalysisConfig) -> CoverageReport {
+        let mut covered: BTreeSet<(BranchId, bool)> = BTreeSet::new();
+        let mut suite: Vec<Vec<f64>> = Vec::new();
+        for seed in seeds {
+            self.absorb(seed, &mut covered);
+            suite.push(seed.clone());
+        }
+        let total_pairs = self.program.branch_sites().len() * 2;
+        let mut rounds = 0usize;
+        let max_rounds = total_pairs + config.rounds;
+        while covered.len() < total_pairs && rounds < max_rounds {
+            rounds += 1;
+            let wd = CoverageWeakDistance {
+                program: &self.program,
+                covered: covered.clone(),
+            };
+            let round_config = AnalysisConfig {
+                seed: config.seed.wrapping_add(rounds as u64 * 104_729),
+                ..config.clone()
+            };
+            match minimize_weak_distance(&wd, &round_config).outcome {
+                Outcome::Found { input, .. } => {
+                    let before = covered.len();
+                    self.absorb(&input, &mut covered);
+                    suite.push(input);
+                    if covered.len() == before {
+                        // Should not happen (w = 0 implies new coverage), but
+                        // guard against infinite loops all the same.
+                        break;
+                    }
+                }
+                Outcome::NotFound { .. } => break,
+            }
+        }
+        CoverageReport {
+            suite,
+            covered,
+            total_pairs,
+            rounds,
+        }
+    }
+
+    /// Adds the coverage of one execution to `covered`.
+    fn absorb(&self, input: &[f64], covered: &mut BTreeSet<(BranchId, bool)>) {
+        let mut cov = BranchCoverage::new();
+        self.program.run(input, &mut cov);
+        covered.extend(cov.covered().iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_gsl::glibc_sin::GlibcSin;
+    use mini_gsl::toy::Fig2Program;
+
+    #[test]
+    fn weak_distance_is_zero_on_new_coverage() {
+        let wd = CoverageWeakDistance::new(Fig2Program::new(), BTreeSet::new());
+        // Nothing covered yet: any input covers something new.
+        assert_eq!(wd.eval(&[0.0]), 0.0);
+        // With the path of x=0 covered, an input taking the same path is
+        // positive, one taking a different path is zero.
+        let mut covered = BTreeSet::new();
+        covered.insert((BranchId(0), true));
+        covered.insert((BranchId(1), true));
+        let wd = CoverageWeakDistance::new(Fig2Program::new(), covered);
+        assert!(wd.eval(&[0.0]) > 0.0);
+        assert_eq!(wd.eval(&[10.0]), 0.0);
+    }
+
+    #[test]
+    fn full_coverage_of_fig2() {
+        let analysis = CoverageAnalysis::new(Fig2Program::new());
+        let report = analysis.run(&[vec![0.0]], &AnalysisConfig::quick(3));
+        assert_eq!(report.total_pairs, 4);
+        assert_eq!(report.covered.len(), 4, "covered: {:?}", report.covered);
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+        assert!(report.suite.len() >= 2);
+    }
+
+    #[test]
+    fn covers_most_of_glibc_sin_ranges() {
+        // The five range branches of sin: 10 (site, direction) pairs, of
+        // which (branch 4, false) requires a non-finite input and is
+        // unreachable from the finite search box.
+        let analysis = CoverageAnalysis::new(GlibcSin::new());
+        let config = AnalysisConfig::quick(7).with_max_evals(30_000);
+        let report = analysis.run(&[vec![1.0]], &config);
+        assert!(
+            report.covered.len() >= 8,
+            "covered only {:?} of {} pairs",
+            report.covered.len(),
+            report.total_pairs
+        );
+    }
+
+    #[test]
+    fn empty_program_reports_full_coverage() {
+        let p = fp_runtime::ClosureProgram::new("nop", 1, |_x, _ctx| Some(0.0));
+        let report = CoverageAnalysis::new(p).run(&[], &AnalysisConfig::quick(1).with_rounds(1));
+        assert_eq!(report.total_pairs, 0);
+        assert_eq!(report.coverage(), 1.0);
+    }
+}

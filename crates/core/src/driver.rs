@@ -1,0 +1,338 @@
+//! The generic weak-distance-minimization driver (Algorithm 2).
+
+use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
+use wdm_mo::{
+    BasinHopping, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart, NoTrace,
+    Powell, Problem, RandomSearch, SamplingTrace,
+};
+
+/// Which MO backend Algorithm 2 uses (Section 4.1 treats the backend as an
+/// interchangeable black box; Table 1 compares three of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Basin hopping (the paper's default).
+    BasinHopping,
+    /// Differential Evolution.
+    DifferentialEvolution,
+    /// Powell's method from a random starting point.
+    Powell,
+    /// Repeated Nelder–Mead from random starting points.
+    MultiStart,
+    /// Pure random sampling (the Fig. 7 degenerate baseline).
+    RandomSearch,
+}
+
+impl BackendKind {
+    /// All backends, in the order of Table 1 plus the two baselines.
+    pub fn all() -> [BackendKind; 5] {
+        [
+            BackendKind::BasinHopping,
+            BackendKind::DifferentialEvolution,
+            BackendKind::Powell,
+            BackendKind::MultiStart,
+            BackendKind::RandomSearch,
+        ]
+    }
+
+    /// Display name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::BasinHopping => "Basinhopping",
+            BackendKind::DifferentialEvolution => "Differential E.",
+            BackendKind::Powell => "Powell",
+            BackendKind::MultiStart => "MultiStart",
+            BackendKind::RandomSearch => "RandomSearch",
+        }
+    }
+
+    fn build(self) -> Box<dyn GlobalMinimizer> {
+        match self {
+            BackendKind::BasinHopping => Box::new(BasinHopping::default()),
+            BackendKind::DifferentialEvolution => Box::new(DifferentialEvolution::default()),
+            BackendKind::Powell => Box::new(Powell::default()),
+            BackendKind::MultiStart => Box::new(MultiStart::default()),
+            BackendKind::RandomSearch => Box::new(RandomSearch::default()),
+        }
+    }
+}
+
+/// Configuration of one analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisConfig {
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Objective-evaluation budget per minimization round.
+    pub max_evals: usize,
+    /// Number of independent minimization rounds (each from fresh random
+    /// starting points, as in Algorithm 3 step 4).
+    pub rounds: usize,
+    /// The MO backend.
+    pub backend: BackendKind,
+    /// Record the sampling sequence (needed for the figure harnesses).
+    pub record_samples: bool,
+    /// Keep every `sample_stride`-th sample when recording.
+    pub sample_stride: u64,
+}
+
+impl AnalysisConfig {
+    /// A quick configuration for unit tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        AnalysisConfig {
+            seed,
+            max_evals: 20_000,
+            rounds: 3,
+            backend: BackendKind::BasinHopping,
+            record_samples: false,
+            sample_stride: 1,
+        }
+    }
+
+    /// A thorough configuration for the experiment harnesses.
+    pub fn thorough(seed: u64) -> Self {
+        AnalysisConfig {
+            seed,
+            max_evals: 200_000,
+            rounds: 10,
+            backend: BackendKind::BasinHopping,
+            record_samples: false,
+            sample_stride: 1,
+        }
+    }
+
+    /// Sets the backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the per-round evaluation budget.
+    pub fn with_max_evals(mut self, max_evals: usize) -> Self {
+        self.max_evals = max_evals;
+        self
+    }
+
+    /// Sets the number of rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Enables sample recording with the given stride.
+    pub fn recording(mut self, stride: u64) -> Self {
+        self.record_samples = true;
+        self.sample_stride = stride.max(1);
+        self
+    }
+}
+
+/// The result of a floating-point analysis problem in the sense of
+/// Definition 2.1: either an element of `S`, or "not found".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A solution was found: the weak distance reached zero at `input`.
+    Found {
+        /// The solution input.
+        input: Vec<f64>,
+        /// Number of objective evaluations spent.
+        evals: usize,
+    },
+    /// No solution was found within the budget; the best (smallest) weak
+    /// distance value and where it was attained are reported. By
+    /// Limitation 3 this does *not* prove that `S` is empty.
+    NotFound {
+        /// Best weak-distance value observed.
+        best_value: f64,
+        /// Input attaining the best value.
+        best_input: Vec<f64>,
+        /// Number of objective evaluations spent.
+        evals: usize,
+    },
+}
+
+impl Outcome {
+    /// Returns `true` if a solution was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, Outcome::Found { .. })
+    }
+
+    /// Extracts the solution input, if any.
+    pub fn into_input(self) -> Option<Vec<f64>> {
+        match self {
+            Outcome::Found { input, .. } => Some(input),
+            Outcome::NotFound { .. } => None,
+        }
+    }
+
+    /// Number of objective evaluations spent.
+    pub fn evals(&self) -> usize {
+        match self {
+            Outcome::Found { evals, .. } | Outcome::NotFound { evals, .. } => *evals,
+        }
+    }
+}
+
+/// The raw result of minimizing a weak distance: the driver outcome plus the
+/// backend's result and the recorded sampling trace.
+#[derive(Debug, Clone)]
+pub struct MinimizationRun {
+    /// The Definition 2.1 outcome.
+    pub outcome: Outcome,
+    /// The best backend result across rounds.
+    pub best: MinimizeResult,
+    /// The recorded sampling sequence (empty unless recording was enabled).
+    pub trace: SamplingTrace,
+}
+
+/// Algorithm 2: minimizes `wd` with the configured backend and budget.
+///
+/// The weak distance reaching exactly zero means a solution of the
+/// underlying problem has been found (Theorem 3.3); a strictly positive
+/// minimum is reported as "not found" (which, by Limitation 3, is not a
+/// proof of emptiness).
+pub fn minimize_weak_distance(wd: &dyn WeakDistance, config: &AnalysisConfig) -> MinimizationRun {
+    let objective = WeakDistanceObjective::new(wd);
+    let bounds = objective.bounds();
+    let backend = config.backend.build();
+    let mut trace = SamplingTrace::with_stride(config.sample_stride);
+
+    let mut best: Option<MinimizeResult> = None;
+    let mut total_evals = 0usize;
+    for round in 0..config.rounds.max(1) {
+        let problem = Problem::new(&objective, bounds.clone())
+            .with_target(0.0)
+            .with_max_evals(config.max_evals);
+        let seed = config.seed.wrapping_add(round as u64).wrapping_mul(0x9e37_79b9);
+        let result = if config.record_samples {
+            backend.minimize(&problem, seed, &mut trace)
+        } else {
+            backend.minimize(&problem, seed, &mut NoTrace)
+        };
+        total_evals += result.evals;
+        let is_better = best
+            .as_ref()
+            .map(|b| result.value < b.value || b.value.is_nan())
+            .unwrap_or(true);
+        if is_better {
+            best = Some(result);
+        }
+        if best.as_ref().map(|b| b.value <= 0.0).unwrap_or(false) {
+            break;
+        }
+    }
+
+    let best = best.expect("at least one round ran");
+    let outcome = if best.value <= 0.0 {
+        Outcome::Found {
+            input: best.x.clone(),
+            evals: total_evals,
+        }
+    } else {
+        Outcome::NotFound {
+            best_value: best.value,
+            best_input: best.x.clone(),
+            evals: total_evals,
+        }
+    };
+    MinimizationRun {
+        outcome,
+        best,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_distance::FnWeakDistance;
+    use fp_runtime::Interval;
+
+    fn wd_two_zeros() -> impl WeakDistance {
+        FnWeakDistance::new(1, vec![Interval::symmetric(1.0e4)], |x: &[f64]| {
+            (x[0] - 1.0).abs() * (x[0] + 3.0).abs()
+        })
+    }
+
+    #[test]
+    fn finds_a_zero_with_default_backend() {
+        let run = minimize_weak_distance(&wd_two_zeros(), &AnalysisConfig::quick(1));
+        match run.outcome {
+            Outcome::Found { input, .. } => {
+                let x = input[0];
+                assert!(x == 1.0 || x == -3.0, "x = {x}");
+            }
+            Outcome::NotFound { best_value, .. } => panic!("not found, best = {best_value}"),
+        }
+    }
+
+    #[test]
+    fn reports_not_found_for_positive_minimum() {
+        // W(x) = |x| + 1 has minimum 1 > 0: S is empty.
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            x[0].abs() + 1.0
+        });
+        let run = minimize_weak_distance(&wd, &AnalysisConfig::quick(2).with_rounds(1));
+        match run.outcome {
+            Outcome::NotFound { best_value, .. } => {
+                assert!((best_value - 1.0).abs() < 1e-6, "best = {best_value}");
+            }
+            Outcome::Found { input, .. } => panic!("spurious solution {input:?}"),
+        }
+        assert!(!run.outcome.is_found());
+        assert!(run.outcome.evals() > 0);
+    }
+
+    #[test]
+    fn every_backend_solves_the_easy_problem() {
+        // |x - 3| over a modest range: every backend should reach ~0, and the
+        // exact-zero guarantee holds at least for basin hopping.
+        for backend in BackendKind::all() {
+            let wd = FnWeakDistance::new(1, vec![Interval::symmetric(50.0)], |x: &[f64]| {
+                (x[0] - 3.0).abs()
+            });
+            let cfg = AnalysisConfig::quick(7).with_backend(backend).with_rounds(2);
+            let run = minimize_weak_distance(&wd, &cfg);
+            assert!(
+                run.best.value < 0.5,
+                "{} best = {}",
+                backend.name(),
+                run.best.value
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_trace_is_recorded_when_requested() {
+        let run = minimize_weak_distance(
+            &wd_two_zeros(),
+            &AnalysisConfig::quick(3).with_rounds(1).recording(2),
+        );
+        assert!(!run.trace.is_empty());
+        assert!(run.trace.total_seen() >= run.trace.len() as u64);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let found = Outcome::Found {
+            input: vec![1.0],
+            evals: 10,
+        };
+        assert!(found.is_found());
+        assert_eq!(found.clone().into_input(), Some(vec![1.0]));
+        assert_eq!(found.evals(), 10);
+        let not = Outcome::NotFound {
+            best_value: 0.5,
+            best_input: vec![0.0],
+            evals: 20,
+        };
+        assert_eq!(not.clone().into_input(), None);
+        assert_eq!(not.evals(), 20);
+    }
+
+    #[test]
+    fn backend_names_match_table1() {
+        assert_eq!(BackendKind::BasinHopping.name(), "Basinhopping");
+        assert_eq!(BackendKind::DifferentialEvolution.name(), "Differential E.");
+        assert_eq!(BackendKind::Powell.name(), "Powell");
+        assert_eq!(BackendKind::all().len(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! The Section 6.3.2 inconsistency check and root-cause classification.
+//!
+//! An *inconsistency* is a computation that reports `GSL_SUCCESS` while its
+//! result value or error estimate is `±inf` or NaN. The checker replays the
+//! witness inputs produced by overflow detection against the benchmark's
+//! status-convention entry point and classifies the root cause from the
+//! runtime trace, mirroring the manual `gdb` analysis of Table 5.
+
+use fp_runtime::{Analyzable, Event, FpOp, TraceRecorder};
+use std::fmt;
+
+/// The observable outcome of a status-convention function: did it claim
+/// success, and what values did it hand back to the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusOutcome {
+    /// `true` iff the returned status is `GSL_SUCCESS`.
+    pub success: bool,
+    /// The values the caller would consume, labelled (`val`, `err`, ...).
+    pub values: Vec<(String, f64)>,
+}
+
+impl StatusOutcome {
+    /// Creates an outcome from a success flag and labelled values.
+    pub fn new(success: bool, values: Vec<(String, f64)>) -> Self {
+        StatusOutcome { success, values }
+    }
+
+    /// Returns `true` if this outcome is an inconsistency: success claimed
+    /// but some returned value is non-finite.
+    pub fn is_inconsistent(&self) -> bool {
+        self.success && self.values.iter().any(|(_, v)| !v.is_finite())
+    }
+}
+
+/// Root causes distinguished by the classifier (the last column of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootCause {
+    /// An input of enormous magnitude propagates directly into the result.
+    LargeInput,
+    /// Intermediate operands grow until an elementary operation overflows.
+    LargeOperands,
+    /// A square root receives a negative operand.
+    NegativeSqrt,
+    /// A division by a vanished (zero) intermediate.
+    DivisionByZero,
+    /// A trigonometric kernel evaluated far outside its valid range.
+    InaccurateTrig,
+    /// None of the heuristics matched.
+    Unknown,
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RootCause::LargeInput => "Large input",
+            RootCause::LargeOperands => "Large operands",
+            RootCause::NegativeSqrt => "negative in sqrt",
+            RootCause::DivisionByZero => "division by zero",
+            RootCause::InaccurateTrig => "Inaccurate trigonometric kernel",
+            RootCause::Unknown => "Unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected inconsistency.
+#[derive(Debug, Clone)]
+pub struct Inconsistency {
+    /// The input that triggers it.
+    pub input: Vec<f64>,
+    /// The status-convention outcome observed.
+    pub outcome: StatusOutcome,
+    /// The classified root cause.
+    pub cause: RootCause,
+}
+
+/// Checks a batch of witness inputs against a status-convention entry point
+/// and classifies each inconsistency found.
+///
+/// `program` is the probed benchmark (used for trace-based classification);
+/// `status_fn` is its GSL-convention entry point.
+pub fn find_inconsistencies<P, F>(
+    program: &P,
+    status_fn: F,
+    inputs: &[Vec<f64>],
+) -> Vec<Inconsistency>
+where
+    P: Analyzable,
+    F: Fn(&[f64]) -> StatusOutcome,
+{
+    let mut found = Vec::new();
+    for input in inputs {
+        let outcome = status_fn(input);
+        if outcome.is_inconsistent() {
+            let cause = classify(program, input);
+            found.push(Inconsistency {
+                input: input.clone(),
+                outcome,
+                cause,
+            });
+        }
+    }
+    found
+}
+
+/// Classifies the root cause of an exceptional execution by replaying it and
+/// inspecting the event trace.
+pub fn classify<P: Analyzable>(program: &P, input: &[f64]) -> RootCause {
+    if input.iter().any(|v| v.abs() >= 1.0e150) {
+        return RootCause::LargeInput;
+    }
+    let mut rec = TraceRecorder::new();
+    program.run(input, &mut rec);
+
+    // Find the first exceptional operation in program order and look at how
+    // the exceptional value came to be.
+    let mut prev_finite_ops: Vec<(FpOp, f64)> = Vec::new();
+    for ev in rec.events() {
+        if let Event::Op(op) = ev {
+            if !op.value.is_finite() {
+                return match op.op {
+                    FpOp::Sqrt => RootCause::NegativeSqrt,
+                    FpOp::Div => {
+                        // A division producing inf/NaN from finite, moderate
+                        // inputs means the denominator vanished.
+                        let operands_moderate = prev_finite_ops
+                            .iter()
+                            .rev()
+                            .take(4)
+                            .all(|(_, v)| v.abs() < 1.0e100);
+                        if operands_moderate {
+                            RootCause::DivisionByZero
+                        } else {
+                            RootCause::LargeOperands
+                        }
+                    }
+                    FpOp::Cos | FpOp::Sin | FpOp::Tan => RootCause::InaccurateTrig,
+                    FpOp::Mul | FpOp::Add | FpOp::Sub | FpOp::Pow => RootCause::LargeOperands,
+                    _ => RootCause::Unknown,
+                };
+            }
+            if op.value.is_nan() && op.op == FpOp::Sqrt {
+                return RootCause::NegativeSqrt;
+            }
+            prev_finite_ops.push((op.op, op.value));
+        }
+    }
+    // No instrumented op was exceptional: the problem arose in uninstrumented
+    // code (e.g. a trigonometric kernel); report the dominant suspect.
+    if prev_finite_ops
+        .iter()
+        .any(|(_, v)| v.abs() > 1.0e40)
+    {
+        RootCause::InaccurateTrig
+    } else {
+        RootCause::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_gsl::airy::{airy_outcome, AiryAi};
+    use mini_gsl::bessel::{bessel_outcome, BesselKnuScaled};
+
+    fn bessel_status(input: &[f64]) -> StatusOutcome {
+        let (r, status) = bessel_outcome(input);
+        StatusOutcome::new(
+            status.is_success(),
+            vec![("val".into(), r.val), ("err".into(), r.err)],
+        )
+    }
+
+    fn airy_status(input: &[f64]) -> StatusOutcome {
+        let (r, status) = airy_outcome(input);
+        StatusOutcome::new(
+            status.is_success(),
+            vec![("val".into(), r.val), ("err".into(), r.err)],
+        )
+    }
+
+    #[test]
+    fn status_outcome_inconsistency_detection() {
+        let ok = StatusOutcome::new(true, vec![("val".into(), 1.0)]);
+        assert!(!ok.is_inconsistent());
+        let bad = StatusOutcome::new(true, vec![("val".into(), f64::INFINITY)]);
+        assert!(bad.is_inconsistent());
+        let failed = StatusOutcome::new(false, vec![("val".into(), f64::NAN)]);
+        assert!(!failed.is_inconsistent(), "an honest error status is not an inconsistency");
+    }
+
+    #[test]
+    fn bessel_table5_rows_are_detected_and_classified() {
+        let program = BesselKnuScaled::new();
+        let inputs = vec![
+            vec![1.79e308, -1.5e2], // large input nu
+            vec![3.2e157, 5.3e1],   // large input nu (second * overflows)
+            vec![8.4e77, -2.5e2],   // negative operand of sqrt
+            vec![1.0, 10.0],        // benign
+        ];
+        let found = find_inconsistencies(&program, bessel_status, &inputs);
+        assert_eq!(found.len(), 3, "three of the four inputs are inconsistent");
+        assert_eq!(found[0].cause, RootCause::LargeInput);
+        assert_eq!(found[1].cause, RootCause::LargeInput);
+        // The paper's manual gdb analysis attributes this row to the negative
+        // sqrt operand; the automated trace heuristic may instead blame the
+        // large intermediate product that overflows first — both are accepted.
+        assert!(
+            matches!(found[2].cause, RootCause::NegativeSqrt | RootCause::LargeOperands),
+            "cause = {}",
+            found[2].cause
+        );
+    }
+
+    #[test]
+    fn airy_bug1_is_classified_as_division_by_zero() {
+        // Locate the absorption window (as in the mini-gsl tests) and check
+        // the classifier's verdict.
+        let center = -(16.0_f64 / (1.0 - 0.419_07)).cbrt();
+        let bits = center.to_bits();
+        let mut witness = None;
+        for offset in -200_000i64..200_000 {
+            let x = f64::from_bits((bits as i64 + offset) as u64);
+            if airy_status(&[x]).is_inconsistent() {
+                witness = Some(x);
+                break;
+            }
+        }
+        let x = witness.expect("bug 1 window exists");
+        assert_eq!(classify(&AiryAi::new(), &[x]), RootCause::DivisionByZero);
+    }
+
+    #[test]
+    fn airy_bug2_is_classified_as_trig_or_large_operands() {
+        // Find a huge negative input whose outcome is inconsistent.
+        let mut witness = None;
+        for k in 0..500 {
+            let x = -1.14e34 * (1.0 + k as f64 * 1.0e-6);
+            if airy_status(&[x]).is_inconsistent() {
+                witness = Some(x);
+                break;
+            }
+        }
+        let x = witness.expect("bug 2 manifests for some huge input");
+        let cause = classify(&AiryAi::new(), &[x]);
+        assert!(
+            matches!(cause, RootCause::InaccurateTrig | RootCause::LargeOperands),
+            "cause = {cause}"
+        );
+    }
+
+    #[test]
+    fn root_cause_display() {
+        assert_eq!(RootCause::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(RootCause::NegativeSqrt.to_string(), "negative in sqrt");
+    }
+}

@@ -1,0 +1,194 @@
+//! The weak-distance abstraction (Definition 3.1).
+
+use fp_runtime::Interval;
+use wdm_mo::Objective;
+
+/// A weak distance of a floating-point analysis problem ⟨Prog; S⟩:
+/// a program `W : dom(Prog) → F` such that
+///
+/// 1. `W(x) >= 0` for every input,
+/// 2. `W(x) = 0` implies `x ∈ S`, and
+/// 3. `x ∈ S` implies `W(x) = 0`.
+///
+/// By Theorem 3.3, minimizing any such `W` solves the analysis problem.
+/// Implementations in this crate evaluate `W` by *executing* the program
+/// under analysis with an observer that folds the runtime events into `w` —
+/// never by reasoning about the program text.
+pub trait WeakDistance {
+    /// Number of program inputs `N`.
+    fn dim(&self) -> usize;
+
+    /// Search box used to sample optimization starting points.
+    fn domain(&self) -> Vec<Interval>;
+
+    /// Evaluates the weak distance at `x`.
+    fn eval(&self, x: &[f64]) -> f64;
+
+    /// A short description for reports.
+    fn description(&self) -> String {
+        "weak distance".to_string()
+    }
+
+    /// Checks the nonnegativity axiom (Definition 3.1(a)) on a set of sample
+    /// points; returns the first violating input, if any. Used by tests and
+    /// by the analysis designer as a cheap sanity check.
+    fn check_nonnegative<'a, I>(&self, samples: I) -> Option<Vec<f64>>
+    where
+        Self: Sized,
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        for x in samples {
+            let v = self.eval(x);
+            if v < 0.0 {
+                return Some(x.to_vec());
+            }
+        }
+        None
+    }
+}
+
+/// Adapts a [`WeakDistance`] to the [`wdm_mo::Objective`] interface expected
+/// by the optimization backends.
+pub struct WeakDistanceObjective<'a> {
+    inner: &'a dyn WeakDistance,
+}
+
+impl<'a> WeakDistanceObjective<'a> {
+    /// Wraps a weak distance.
+    pub fn new(inner: &'a dyn WeakDistance) -> Self {
+        WeakDistanceObjective { inner }
+    }
+
+    /// The bounds corresponding to the weak distance's domain.
+    pub fn bounds(&self) -> wdm_mo::Bounds {
+        wdm_mo::Bounds::new(
+            self.inner
+                .domain()
+                .iter()
+                .map(|iv| (iv.lo(), iv.hi()))
+                .collect(),
+        )
+    }
+}
+
+impl Objective for WeakDistanceObjective<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.inner.eval(x)
+    }
+}
+
+impl std::fmt::Debug for WeakDistanceObjective<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeakDistanceObjective")
+            .field("description", &self.inner.description())
+            .finish()
+    }
+}
+
+/// A weak distance defined by a closure, useful for tests and for the
+/// "Analysis Designer" layer when prototyping new instances.
+pub struct FnWeakDistance<F> {
+    dim: usize,
+    domain: Vec<Interval>,
+    f: F,
+    description: String,
+}
+
+impl<F> FnWeakDistance<F>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    /// Creates a closure-backed weak distance.
+    pub fn new(dim: usize, domain: Vec<Interval>, f: F) -> Self {
+        assert_eq!(domain.len(), dim, "domain arity mismatch");
+        FnWeakDistance {
+            dim,
+            domain,
+            f,
+            description: "closure weak distance".to_string(),
+        }
+    }
+
+    /// Sets the description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+}
+
+impl<F> WeakDistance for FnWeakDistance<F>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn domain(&self) -> Vec<Interval> {
+        self.domain.clone()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+
+    fn description(&self) -> String {
+        self.description.clone()
+    }
+}
+
+impl<F> std::fmt::Debug for FnWeakDistance<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnWeakDistance")
+            .field("dim", &self.dim)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abs_wd() -> impl WeakDistance {
+        FnWeakDistance::new(1, vec![Interval::symmetric(10.0)], |x: &[f64]| {
+            (x[0] - 2.0).abs()
+        })
+        .with_description("|x - 2|")
+    }
+
+    #[test]
+    fn closure_weak_distance_basics() {
+        let wd = abs_wd();
+        assert_eq!(wd.dim(), 1);
+        assert_eq!(wd.eval(&[2.0]), 0.0);
+        assert_eq!(wd.eval(&[5.0]), 3.0);
+        assert_eq!(wd.description(), "|x - 2|");
+        assert_eq!(wd.domain().len(), 1);
+    }
+
+    #[test]
+    fn nonnegativity_check_finds_violations() {
+        let wd = abs_wd();
+        let a = [0.0_f64];
+        let b = [7.0_f64];
+        assert_eq!(wd.check_nonnegative([&a[..], &b[..]]), None);
+
+        let bad = FnWeakDistance::new(1, vec![Interval::symmetric(1.0)], |x: &[f64]| x[0]);
+        let neg = [-0.5_f64];
+        assert_eq!(bad.check_nonnegative([&neg[..]]), Some(vec![-0.5]));
+    }
+
+    #[test]
+    fn objective_adapter_exposes_bounds() {
+        let wd = abs_wd();
+        let obj = WeakDistanceObjective::new(&wd);
+        assert_eq!(Objective::dim(&obj), 1);
+        assert_eq!(Objective::eval(&obj, &[2.0]), 0.0);
+        assert_eq!(obj.bounds().limit(0), (-10.0, 10.0));
+    }
+}

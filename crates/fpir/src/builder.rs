@@ -1,0 +1,374 @@
+//! Ergonomic construction of IR modules, in the spirit of LLVM's `IRBuilder`.
+
+use crate::ir::{
+    BinOp, Block, BlockId, FuncId, Function, GlobalId, Inst, Module, Reg, Terminator, UnOp,
+};
+use fp_runtime::{BranchId, Cmp, OpId};
+
+/// Builds a [`Module`] function by function.
+///
+/// # Example
+///
+/// ```
+/// use fpir::{BinOp, ModuleBuilder};
+/// use fp_runtime::Cmp;
+///
+/// // double f(double x) { if (x <= 1.0) return x + 1.0; return x; }
+/// let mut mb = ModuleBuilder::new();
+/// let mut f = mb.function("f", 1);
+/// let x = f.param(0);
+/// let one = f.constant(1.0);
+/// let (then_bb, else_bb) = (f.new_block(), f.new_block());
+/// f.cond_br(Some(0), x, Cmp::Le, one, then_bb, else_bb);
+/// f.switch_to(then_bb);
+/// let y = f.bin(BinOp::Add, x, one, Some(0));
+/// f.ret(Some(y));
+/// f.switch_to(else_bb);
+/// f.ret(Some(x));
+/// let _fid = f.finish();
+/// let module = mb.build();
+/// assert_eq!(module.functions.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a global cell.
+    pub fn global(&mut self, name: impl Into<String>, init: f64) -> GlobalId {
+        self.module.add_global(name, init)
+    }
+
+    /// Starts building a function with `num_params` parameters.
+    pub fn function(&mut self, name: impl Into<String>, num_params: usize) -> FunctionBuilder<'_> {
+        FunctionBuilder::new(&mut self.module, name.into(), num_params)
+    }
+
+    /// Finishes and returns the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds one [`Function`]; instructions are appended to the *current block*,
+/// which starts as the entry block and can be changed with
+/// [`FunctionBuilder::switch_to`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: Function,
+    current: BlockId,
+    next_op_site: u32,
+    next_branch_site: u32,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(module: &'m mut Module, name: String, num_params: usize) -> Self {
+        FunctionBuilder {
+            module,
+            func: Function {
+                name,
+                num_params,
+                num_regs: 0,
+                blocks: vec![Block::new()],
+            },
+            current: BlockId(0),
+            next_op_site: 0,
+            next_branch_site: 0,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a new empty block (terminated by `ret` until overwritten).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Block::new());
+        BlockId(self.func.blocks.len() - 1)
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.0 < self.func.blocks.len(), "unknown block {block}");
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.current.0].insts.push(inst);
+    }
+
+    fn fresh(&mut self) -> Reg {
+        self.func.fresh_reg()
+    }
+
+    /// Allocates the next unused floating-point operation site label.
+    pub fn fresh_op_site(&mut self) -> OpId {
+        let s = OpId(self.next_op_site);
+        self.next_op_site += 1;
+        s
+    }
+
+    /// Allocates the next unused branch site label.
+    pub fn fresh_branch_site(&mut self) -> BranchId {
+        let s = BranchId(self.next_branch_site);
+        self.next_branch_site += 1;
+        s
+    }
+
+    /// `dst = constant`
+    pub fn constant(&mut self, value: f64) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// `dst = param[index]`
+    pub fn param(&mut self, index: usize) -> Reg {
+        assert!(index < self.func.num_params, "parameter index out of range");
+        let dst = self.fresh();
+        self.push(Inst::Param { dst, index });
+        dst
+    }
+
+    /// `dst = src` (copy).
+    pub fn copy(&mut self, src: Reg) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Copy { dst, src });
+        dst
+    }
+
+    /// Copies `src` into the existing register `dst` (for loop-carried
+    /// variables).
+    pub fn assign(&mut self, dst: Reg, src: Reg) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Binary operation. If `site` is `Some(n)` the operation is labelled as
+    /// instrumentation site `n` (auto-numbered labels are available through
+    /// [`FunctionBuilder::bin_site`]).
+    pub fn bin(&mut self, op: BinOp, lhs: Reg, rhs: Reg, site: Option<u32>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Bin {
+            dst,
+            op,
+            lhs,
+            rhs,
+            site: site.map(OpId),
+        });
+        dst
+    }
+
+    /// Binary operation with an automatically numbered site label.
+    pub fn bin_site(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Reg {
+        let site = self.fresh_op_site();
+        let dst = self.fresh();
+        self.push(Inst::Bin {
+            dst,
+            op,
+            lhs,
+            rhs,
+            site: Some(site),
+        });
+        dst
+    }
+
+    /// Unary operation.
+    pub fn un(&mut self, op: UnOp, arg: Reg, site: Option<u32>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Un {
+            dst,
+            op,
+            arg,
+            site: site.map(OpId),
+        });
+        dst
+    }
+
+    /// Unary operation with an automatically numbered site label.
+    pub fn un_site(&mut self, op: UnOp, arg: Reg) -> Reg {
+        let site = self.fresh_op_site();
+        let dst = self.fresh();
+        self.push(Inst::Un {
+            dst,
+            op,
+            arg,
+            site: Some(site),
+        });
+        dst
+    }
+
+    /// Comparison producing 1.0 / 0.0.
+    pub fn cmp(&mut self, cmp: Cmp, lhs: Reg, rhs: Reg) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Cmp { dst, cmp, lhs, rhs });
+        dst
+    }
+
+    /// Select between two registers on a condition register.
+    pub fn select(&mut self, cond: Reg, if_true: Reg, if_false: Reg) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Select {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        });
+        dst
+    }
+
+    /// Call another function of the module.
+    pub fn call(&mut self, func: FuncId, args: Vec<Reg>) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::Call { dst, func, args });
+        dst
+    }
+
+    /// Load a global cell.
+    pub fn load_global(&mut self, global: GlobalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Inst::LoadGlobal { dst, global });
+        dst
+    }
+
+    /// Store into a global cell.
+    pub fn store_global(&mut self, global: GlobalId, src: Reg) {
+        self.push(Inst::StoreGlobal { global, src });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.func.blocks[self.current.0].term = Terminator::Jump(target);
+    }
+
+    /// Terminates the current block with a conditional branch comparing
+    /// `lhs cmp rhs`. `site` is the instrumentation label of the branch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cond_br(
+        &mut self,
+        site: Option<u32>,
+        lhs: Reg,
+        cmp: Cmp,
+        rhs: Reg,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) {
+        self.func.blocks[self.current.0].term = Terminator::CondBr {
+            site: site.map(BranchId),
+            lhs,
+            cmp,
+            rhs,
+            then_bb,
+            else_bb,
+        };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.func.blocks[self.current.0].term = Terminator::Return(value);
+    }
+
+    /// Finishes the function, adds it to the module and returns its id.
+    pub fn finish(self) -> FuncId {
+        self.module.functions.push(self.func);
+        FuncId(self.module.functions.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_function() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        let mut f = mb.function("f", 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        let s = f.bin(BinOp::Add, a, b, Some(0));
+        f.store_global(w, s);
+        let back = f.load_global(w);
+        f.ret(Some(back));
+        let id = f.finish();
+        let m = mb.build();
+        assert_eq!(id, FuncId(0));
+        assert_eq!(m.functions[0].num_regs, 4);
+        assert_eq!(m.functions[0].blocks.len(), 1);
+        assert_eq!(m.op_sites_of(id), vec![OpId(0)]);
+    }
+
+    #[test]
+    fn builds_branching_function_with_sites() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("branchy", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let bb_then = f.new_block();
+        let bb_else = f.new_block();
+        let site = f.fresh_branch_site();
+        f.cond_br(Some(site.0), x, Cmp::Lt, one, bb_then, bb_else);
+        f.switch_to(bb_then);
+        f.ret(Some(one));
+        f.switch_to(bb_else);
+        f.ret(Some(x));
+        let id = f.finish();
+        let m = mb.build();
+        assert_eq!(m.branch_sites_of(id), vec![BranchId(0)]);
+        assert_eq!(m.functions[0].blocks.len(), 3);
+    }
+
+    #[test]
+    fn fresh_sites_are_sequential() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("g", 0);
+        assert_eq!(f.fresh_op_site(), OpId(0));
+        assert_eq!(f.fresh_op_site(), OpId(1));
+        assert_eq!(f.fresh_branch_site(), BranchId(0));
+        assert_eq!(f.fresh_branch_site(), BranchId(1));
+        f.ret(None);
+        f.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_out_of_range_panics() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("f", 1);
+        let _ = f.param(1);
+    }
+
+    #[test]
+    fn call_and_select_and_cmp() {
+        let mut mb = ModuleBuilder::new();
+        let mut callee = mb.function("callee", 1);
+        let x = callee.param(0);
+        callee.ret(Some(x));
+        let callee_id = callee.finish();
+
+        let mut f = mb.function("caller", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let c = f.cmp(Cmp::Ge, x, zero);
+        let called = f.call(callee_id, vec![x]);
+        let neg = f.un(UnOp::Neg, x, None);
+        let sel = f.select(c, called, neg);
+        f.ret(Some(sel));
+        f.finish();
+        let m = mb.build();
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.function_by_name("caller"), Some(FuncId(1)));
+    }
+}

@@ -1,0 +1,547 @@
+//! The IR interpreter and its [`Analyzable`] adapter.
+
+use crate::ir::{FuncId, Inst, Module, Terminator};
+use fp_runtime::{Analyzable, BranchSite, Ctx, Interval, OpSite};
+use std::fmt;
+
+/// Errors raised while interpreting a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The per-execution instruction budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// The call stack exceeded its depth limit (runaway recursion).
+    CallDepthExceeded,
+    /// The named entry function does not exist.
+    NoSuchFunction(String),
+    /// The number of arguments did not match the entry function's arity.
+    ArityMismatch {
+        /// Expected number of parameters.
+        expected: usize,
+        /// Provided number of arguments.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "execution exceeded its instruction budget"),
+            ExecError::CallDepthExceeded => write!(f, "call depth limit exceeded"),
+            ExecError::NoSuchFunction(name) => write!(f, "no function named `{name}`"),
+            ExecError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Interprets IR modules, reporting instrumented operations and branches as
+/// [`fp_runtime`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interpreter {
+    /// Maximum number of instructions executed per call to
+    /// [`Interpreter::execute`] (guards against non-terminating loops).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            fuel: 2_000_000,
+            max_call_depth: 64,
+        }
+    }
+}
+
+struct ExecState<'a> {
+    globals: Vec<f64>,
+    fuel: u64,
+    max_depth: usize,
+    module: &'a Module,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the default fuel and call-depth limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Executes `func` of `module` on `args`.
+    ///
+    /// Returns the function's return value (`None` for a `ret` without
+    /// value, or when an observer requested early termination).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on arity mismatch, fuel exhaustion or call
+    /// stack overflow.
+    pub fn execute(
+        &self,
+        module: &Module,
+        func: FuncId,
+        args: &[f64],
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Option<f64>, ExecError> {
+        let function = module.function(func);
+        if args.len() != function.num_params {
+            return Err(ExecError::ArityMismatch {
+                expected: function.num_params,
+                got: args.len(),
+            });
+        }
+        let mut state = ExecState {
+            globals: module.globals.iter().map(|g| g.init).collect(),
+            fuel: self.fuel,
+            max_depth: self.max_call_depth,
+            module,
+        };
+        Self::exec_function(&mut state, func, args, ctx, 0)
+    }
+
+    /// Executes and also returns the final values of the module's globals
+    /// (used by weak-distance wrappers that read `w` after the call).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::execute`].
+    pub fn execute_with_globals(
+        &self,
+        module: &Module,
+        func: FuncId,
+        args: &[f64],
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(Option<f64>, Vec<f64>), ExecError> {
+        let function = module.function(func);
+        if args.len() != function.num_params {
+            return Err(ExecError::ArityMismatch {
+                expected: function.num_params,
+                got: args.len(),
+            });
+        }
+        let mut state = ExecState {
+            globals: module.globals.iter().map(|g| g.init).collect(),
+            fuel: self.fuel,
+            max_depth: self.max_call_depth,
+            module,
+        };
+        let ret = Self::exec_function(&mut state, func, args, ctx, 0)?;
+        Ok((ret, state.globals))
+    }
+
+    fn exec_function(
+        state: &mut ExecState<'_>,
+        func: FuncId,
+        args: &[f64],
+        ctx: &mut Ctx<'_>,
+        depth: usize,
+    ) -> Result<Option<f64>, ExecError> {
+        if depth > state.max_depth {
+            return Err(ExecError::CallDepthExceeded);
+        }
+        let function = state.module.function(func);
+        let mut regs = vec![0.0f64; function.num_regs];
+        let mut block = function.entry();
+        loop {
+            let b = function.block(block);
+            for inst in &b.insts {
+                if state.fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                state.fuel -= 1;
+                if ctx.stopped() {
+                    return Ok(None);
+                }
+                match inst {
+                    Inst::Const { dst, value } => regs[dst.0] = *value,
+                    Inst::Copy { dst, src } => regs[dst.0] = regs[src.0],
+                    Inst::Param { dst, index } => regs[dst.0] = args[*index],
+                    Inst::Bin {
+                        dst,
+                        op,
+                        lhs,
+                        rhs,
+                        site,
+                    } => {
+                        let v = op.apply(regs[lhs.0], regs[rhs.0]);
+                        if let Some(s) = site {
+                            ctx.op(s.0, op.event_kind(), v);
+                        }
+                        regs[dst.0] = v;
+                    }
+                    Inst::Un { dst, op, arg, site } => {
+                        let v = op.apply(regs[arg.0]);
+                        if let Some(s) = site {
+                            ctx.op(s.0, op.event_kind(), v);
+                        }
+                        regs[dst.0] = v;
+                    }
+                    Inst::Cmp { dst, cmp, lhs, rhs } => {
+                        regs[dst.0] = if cmp.eval(regs[lhs.0], regs[rhs.0]) {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                    }
+                    Inst::Select {
+                        dst,
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        regs[dst.0] = if regs[cond.0] != 0.0 {
+                            regs[if_true.0]
+                        } else {
+                            regs[if_false.0]
+                        };
+                    }
+                    Inst::Call { dst, func, args: call_args } => {
+                        let vals: Vec<f64> = call_args.iter().map(|r| regs[r.0]).collect();
+                        let ret = Self::exec_function(state, *func, &vals, ctx, depth + 1)?;
+                        regs[dst.0] = ret.unwrap_or(f64::NAN);
+                        if ctx.stopped() {
+                            return Ok(None);
+                        }
+                    }
+                    Inst::LoadGlobal { dst, global } => regs[dst.0] = state.globals[global.0],
+                    Inst::StoreGlobal { global, src } => state.globals[global.0] = regs[src.0],
+                }
+            }
+            if state.fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            state.fuel -= 1;
+            match &b.term {
+                Terminator::Jump(next) => block = *next,
+                Terminator::CondBr {
+                    site,
+                    lhs,
+                    cmp,
+                    rhs,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let taken = if let Some(s) = site {
+                        ctx.branch(s.0, regs[lhs.0], *cmp, regs[rhs.0])
+                    } else {
+                        cmp.eval(regs[lhs.0], regs[rhs.0])
+                    };
+                    if ctx.stopped() {
+                        return Ok(None);
+                    }
+                    block = if taken { *then_bb } else { *else_bb };
+                }
+                Terminator::Return(val) => return Ok(val.map(|r| regs[r.0])),
+            }
+        }
+    }
+}
+
+/// An IR program exposed to the analyses: a module, an entry function and a
+/// search domain.
+///
+/// Sites are reported with labels derived from the IR text, which is what an
+/// automatic instrumentation pipeline can reasonably produce.
+#[derive(Debug, Clone)]
+pub struct ModuleProgram {
+    module: Module,
+    entry: FuncId,
+    name: String,
+    domain: Vec<Interval>,
+    interpreter: Interpreter,
+}
+
+impl ModuleProgram {
+    /// Wraps `module` with the function named `entry` as the program under
+    /// analysis. Returns `None` if the function does not exist.
+    pub fn new(module: Module, entry: &str) -> Option<Self> {
+        let id = module.function_by_name(entry)?;
+        let num_params = module.function(id).num_params;
+        Some(ModuleProgram {
+            name: format!("{entry} (fpir)"),
+            entry: id,
+            module,
+            domain: vec![Interval::whole(); num_params],
+            interpreter: Interpreter::default(),
+        })
+    }
+
+    /// Sets the search domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the entry function.
+    pub fn with_domain(mut self, domain: Vec<Interval>) -> Self {
+        assert_eq!(
+            domain.len(),
+            self.module.function(self.entry).num_params,
+            "domain arity mismatch"
+        );
+        self.domain = domain;
+        self
+    }
+
+    /// Sets the interpreter configuration.
+    pub fn with_interpreter(mut self, interpreter: Interpreter) -> Self {
+        self.interpreter = interpreter;
+        self
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The entry function.
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Executes the entry function and also returns the final global values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors ([`ExecError`]).
+    pub fn run_with_globals(
+        &self,
+        input: &[f64],
+        observer: &mut dyn fp_runtime::Observer,
+    ) -> Result<(Option<f64>, Vec<f64>), ExecError> {
+        let mut ctx = Ctx::new(observer);
+        self.interpreter
+            .execute_with_globals(&self.module, self.entry, input, &mut ctx)
+    }
+}
+
+impl Analyzable for ModuleProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.module.function(self.entry).num_params
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        self.domain.clone()
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        let mut sites = Vec::new();
+        for block in &self.module.function(self.entry).blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Bin { op, site: Some(s), .. } => {
+                        sites.push(OpSite::new(s.0, op.event_kind(), inst.to_string()));
+                    }
+                    Inst::Un { op, site: Some(s), .. } => {
+                        sites.push(OpSite::new(s.0, op.event_kind(), inst.to_string()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        sites
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        let mut sites = Vec::new();
+        for block in &self.module.function(self.entry).blocks {
+            if let Terminator::CondBr {
+                site: Some(s), cmp, ..
+            } = &block.term
+            {
+                sites.push(BranchSite::new(s.0, *cmp, block.term.to_string()));
+            }
+        }
+        sites
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        self.interpreter
+            .execute(&self.module, self.entry, input, ctx)
+            .ok()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{BinOp, UnOp};
+    use fp_runtime::{Cmp, NullObserver, TraceRecorder};
+
+    /// `double f(double x) { if (x <= 1) x = x + 1; return x * x; }`
+    fn square_gate() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("f", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let xvar = f.copy(x);
+        let then_bb = f.new_block();
+        let join = f.new_block();
+        f.cond_br(Some(0), xvar, Cmp::Le, one, then_bb, join);
+        f.switch_to(then_bb);
+        let inc = f.bin(BinOp::Add, xvar, one, Some(0));
+        f.assign(xvar, inc);
+        f.jump(join);
+        f.switch_to(join);
+        let sq = f.bin(BinOp::Mul, xvar, xvar, Some(1));
+        f.ret(Some(sq));
+        f.finish();
+        mb.build()
+    }
+
+    #[test]
+    fn interprets_branches_and_arithmetic() {
+        let m = square_gate();
+        let p = ModuleProgram::new(m, "f").unwrap();
+        assert_eq!(p.run(&[0.0], &mut NullObserver), Some(1.0));
+        assert_eq!(p.run(&[3.0], &mut NullObserver), Some(9.0));
+        assert_eq!(p.run(&[1.0], &mut NullObserver), Some(4.0));
+    }
+
+    #[test]
+    fn emits_events_for_labelled_sites() {
+        let m = square_gate();
+        let p = ModuleProgram::new(m, "f").unwrap();
+        let mut rec = TraceRecorder::new();
+        p.run(&[0.5], &mut rec);
+        assert_eq!(rec.branches().count(), 1);
+        assert_eq!(rec.ops().count(), 2);
+        let br = rec.branches().next().unwrap();
+        assert_eq!(br.lhs, 0.5);
+        assert_eq!(br.rhs, 1.0);
+        assert!(br.taken);
+    }
+
+    #[test]
+    fn site_metadata_is_reported() {
+        let p = ModuleProgram::new(square_gate(), "f").unwrap();
+        assert_eq!(p.num_inputs(), 1);
+        assert_eq!(p.op_sites().len(), 2);
+        assert_eq!(p.branch_sites().len(), 1);
+        assert!(p.branch_sites()[0].label.contains("<="));
+    }
+
+    #[test]
+    fn loops_terminate_via_fuel() {
+        // while (x > 0) x = x + 1;  -- never terminates for positive x.
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("spin", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let xvar = f.copy(x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        f.cond_br(None, xvar, Cmp::Gt, zero, body, exit);
+        f.switch_to(body);
+        let next = f.bin(BinOp::Add, xvar, one, None);
+        f.assign(xvar, next);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(xvar));
+        f.finish();
+        let m = mb.build();
+        let interp = Interpreter::default().with_fuel(10_000);
+        let id = m.function_by_name("spin").unwrap();
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        let err = interp.execute(&m, id, &[1.0], &mut ctx).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+        // Negative input exits immediately.
+        let mut ctx = Ctx::new(&mut obs);
+        assert_eq!(interp.execute(&m, id, &[-1.0], &mut ctx), Ok(Some(-1.0)));
+    }
+
+    #[test]
+    fn loops_compute_iteratively() {
+        // sum = 0; i = x; while (i > 0) { sum = sum + i; i = i - 1; } return sum
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("tri", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let sum = f.copy(zero);
+        let i = f.copy(x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        f.cond_br(None, i, Cmp::Gt, zero, body, exit);
+        f.switch_to(body);
+        let ns = f.bin(BinOp::Add, sum, i, None);
+        f.assign(sum, ns);
+        let ni = f.bin(BinOp::Sub, i, one, None);
+        f.assign(i, ni);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(sum));
+        f.finish();
+        let m = mb.build();
+        let p = ModuleProgram::new(m, "tri").unwrap();
+        assert_eq!(p.run(&[5.0], &mut NullObserver), Some(15.0));
+        assert_eq!(p.run(&[0.0], &mut NullObserver), Some(0.0));
+    }
+
+    #[test]
+    fn calls_and_globals_work() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        // callee(x): w = w * |x|; return x
+        let mut callee = mb.function("callee", 1);
+        let x = callee.param(0);
+        let a = callee.un(UnOp::Abs, x, None);
+        let wv = callee.load_global(w);
+        let prod = callee.bin(BinOp::Mul, wv, a, None);
+        callee.store_global(w, prod);
+        callee.ret(Some(x));
+        let callee_id = callee.finish();
+        // main(x): callee(x); callee(x+1); return w
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let one = main.constant(1.0);
+        let _ = main.call(callee_id, vec![x]);
+        let xp1 = main.bin(BinOp::Add, x, one, None);
+        let _ = main.call(callee_id, vec![xp1]);
+        let back = main.load_global(w);
+        main.ret(Some(back));
+        main.finish();
+        let m = mb.build();
+        let p = ModuleProgram::new(m, "main").unwrap();
+        assert_eq!(p.run(&[-3.0], &mut NullObserver), Some(6.0));
+        // run_with_globals exposes the final w.
+        let mut obs = NullObserver;
+        let (ret, globals) = p.run_with_globals(&[2.0], &mut obs).unwrap();
+        assert_eq!(ret, Some(6.0));
+        assert_eq!(globals, vec![6.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let m = square_gate();
+        let id = m.function_by_name("f").unwrap();
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        let err = Interpreter::default()
+            .execute(&m, id, &[1.0, 2.0], &mut ctx)
+            .unwrap_err();
+        assert_eq!(err, ExecError::ArityMismatch { expected: 1, got: 2 });
+        assert!(err.to_string().contains("expected 1"));
+    }
+}

@@ -1,0 +1,705 @@
+//! The IR data structures.
+//!
+//! A [`Module`] holds global cells and functions; a [`Function`] is a control
+//! flow graph of [`Block`]s over mutable virtual registers; each instruction
+//! computes one binary64 value. Floating-point operations and conditional
+//! branches can carry site labels ([`fp_runtime::OpId`],
+//! [`fp_runtime::BranchId`]) so that the interpreter reports them as runtime
+//! events.
+
+use fp_runtime::{Cmp, OpId};
+use std::fmt;
+
+/// Index of a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub usize);
+
+/// Index of a basic block within a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// Index of a virtual register within a [`Function`].
+///
+/// Registers are mutable (this is a register machine, not SSA), which keeps
+/// loops simple: a loop-carried variable is just a register assigned in the
+/// loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub usize);
+
+/// Index of a global cell within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub usize);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Binary floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// `lhs.powf(rhs)`.
+    Pow,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operation.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Pow => a.powf(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// The corresponding runtime event kind.
+    pub fn event_kind(self) -> fp_runtime::FpOp {
+        match self {
+            BinOp::Add => fp_runtime::FpOp::Add,
+            BinOp::Sub => fp_runtime::FpOp::Sub,
+            BinOp::Mul => fp_runtime::FpOp::Mul,
+            BinOp::Div => fp_runtime::FpOp::Div,
+            BinOp::Pow => fp_runtime::FpOp::Pow,
+            BinOp::Min | BinOp::Max => fp_runtime::FpOp::Other,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "fadd",
+            BinOp::Sub => "fsub",
+            BinOp::Mul => "fmul",
+            BinOp::Div => "fdiv",
+            BinOp::Pow => "fpow",
+            BinOp::Min => "fmin",
+            BinOp::Max => "fmax",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary floating-point operations (including the math-library calls used by
+/// the benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Floor.
+    Floor,
+}
+
+impl UnOp {
+    /// Applies the operation.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Abs => a.abs(),
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Sin => a.sin(),
+            UnOp::Cos => a.cos(),
+            UnOp::Tan => a.tan(),
+            UnOp::Exp => a.exp(),
+            UnOp::Log => a.ln(),
+            UnOp::Floor => a.floor(),
+        }
+    }
+
+    /// The corresponding runtime event kind.
+    pub fn event_kind(self) -> fp_runtime::FpOp {
+        match self {
+            UnOp::Neg => fp_runtime::FpOp::Neg,
+            UnOp::Abs => fp_runtime::FpOp::Abs,
+            UnOp::Sqrt => fp_runtime::FpOp::Sqrt,
+            UnOp::Sin => fp_runtime::FpOp::Sin,
+            UnOp::Cos => fp_runtime::FpOp::Cos,
+            UnOp::Tan => fp_runtime::FpOp::Tan,
+            UnOp::Exp => fp_runtime::FpOp::Exp,
+            UnOp::Log => fp_runtime::FpOp::Log,
+            UnOp::Floor => fp_runtime::FpOp::Floor,
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "fneg",
+            UnOp::Abs => "fabs",
+            UnOp::Sqrt => "fsqrt",
+            UnOp::Sin => "fsin",
+            UnOp::Cos => "fcos",
+            UnOp::Tan => "ftan",
+            UnOp::Exp => "fexp",
+            UnOp::Log => "flog",
+            UnOp::Floor => "ffloor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Constant value.
+        value: f64,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = param[index]`
+    Param {
+        /// Destination register.
+        dst: Reg,
+        /// Parameter index.
+        index: usize,
+    },
+    /// `dst = lhs op rhs`; if `site` is set the interpreter reports an
+    /// [`fp_runtime::OpEvent`].
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+        /// Optional instrumentation site.
+        site: Option<OpId>,
+    },
+    /// `dst = op arg`; if `site` is set the interpreter reports an
+    /// [`fp_runtime::OpEvent`].
+    Un {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: UnOp,
+        /// Operand.
+        arg: Reg,
+        /// Optional instrumentation site.
+        site: Option<OpId>,
+    },
+    /// `dst = (lhs cmp rhs) ? 1.0 : 0.0`
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Comparison operator.
+        cmp: Cmp,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = cond != 0 ? if_true : if_false`
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition register (nonzero means true).
+        cond: Reg,
+        /// Value when the condition holds.
+        if_true: Reg,
+        /// Value when the condition does not hold.
+        if_false: Reg,
+    },
+    /// `dst = call func(args...)`
+    Call {
+        /// Destination register.
+        dst: Reg,
+        /// Callee.
+        func: FuncId,
+        /// Argument registers.
+        args: Vec<Reg>,
+    },
+    /// `dst = global`
+    LoadGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// The global cell.
+        global: GlobalId,
+    },
+    /// `global = src`
+    StoreGlobal {
+        /// The global cell.
+        global: GlobalId,
+        /// Source register.
+        src: Reg,
+    },
+}
+
+impl Inst {
+    /// The destination register, if the instruction writes one.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Param { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Call { dst, .. }
+            | Inst::LoadGlobal { dst, .. } => Some(*dst),
+            Inst::StoreGlobal { .. } => None,
+        }
+    }
+
+    /// The instrumentation site of the instruction, if any.
+    pub fn site(&self) -> Option<OpId> {
+        match self {
+            Inst::Bin { site, .. } | Inst::Un { site, .. } => *site,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = fconst {value}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Param { dst, index } => write!(f, "{dst} = param {index}"),
+            Inst::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                site,
+            } => {
+                write!(f, "{dst} = {op} {lhs}, {rhs}")?;
+                if let Some(s) = site {
+                    write!(f, "  ; site {s}")?;
+                }
+                Ok(())
+            }
+            Inst::Un { dst, op, arg, site } => {
+                write!(f, "{dst} = {op} {arg}")?;
+                if let Some(s) = site {
+                    write!(f, "  ; site {s}")?;
+                }
+                Ok(())
+            }
+            Inst::Cmp { dst, cmp, lhs, rhs } => write!(f, "{dst} = fcmp {cmp} {lhs}, {rhs}"),
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => write!(f, "{dst} = select {cond}, {if_true}, {if_false}"),
+            Inst::Call { dst, func, args } => {
+                write!(f, "{dst} = call {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::LoadGlobal { dst, global } => write!(f, "{dst} = load {global}"),
+            Inst::StoreGlobal { global, src } => write!(f, "store {global}, {src}"),
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on `lhs cmp rhs`; if `site` is set the interpreter
+    /// reports an [`fp_runtime::BranchEvent`].
+    CondBr {
+        /// Optional instrumentation site.
+        site: Option<fp_runtime::BranchId>,
+        /// Left comparison operand.
+        lhs: Reg,
+        /// Comparison operator.
+        cmp: Cmp,
+        /// Right comparison operand.
+        rhs: Reg,
+        /// Successor when the comparison holds.
+        then_bb: BlockId,
+        /// Successor when the comparison does not hold.
+        else_bb: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return(Option<Reg>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::CondBr {
+                site,
+                lhs,
+                cmp,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                write!(f, "br ({lhs} {cmp} {rhs}) ? {then_bb} : {else_bb}")?;
+                if let Some(s) = site {
+                    write!(f, "  ; site {s}")?;
+                }
+                Ok(())
+            }
+            Terminator::Return(Some(r)) => write!(f, "ret {r}"),
+            Terminator::Return(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions followed by a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions, executed in order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block ending in `ret` with no instructions.
+    pub fn new() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Return(None),
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A function: a CFG over mutable registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Number of floating-point parameters.
+    pub num_params: usize,
+    /// Number of virtual registers.
+    pub num_regs: usize,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// Mutable block lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0]
+    }
+
+    /// Allocates a fresh register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+}
+
+/// A global binary64 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name of the cell (e.g. `"w"`).
+    pub name: String,
+    /// Initial value at the start of each execution.
+    pub init: f64,
+}
+
+/// A module: global cells plus functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Global cells.
+    pub globals: Vec<Global>,
+    /// Functions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId)
+    }
+
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0]
+    }
+
+    /// Mutable function lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0]
+    }
+
+    /// Finds a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId)
+    }
+
+    /// Adds a global cell and returns its id.
+    pub fn add_global(&mut self, name: impl Into<String>, init: f64) -> GlobalId {
+        self.globals.push(Global {
+            name: name.into(),
+            init,
+        });
+        GlobalId(self.globals.len() - 1)
+    }
+
+    /// All instrumentation sites of floating-point operations in `func`,
+    /// in block/instruction order.
+    pub fn op_sites_of(&self, func: FuncId) -> Vec<OpId> {
+        let mut sites = Vec::new();
+        for block in &self.function(func).blocks {
+            for inst in &block.insts {
+                if let Some(s) = inst.site() {
+                    sites.push(s);
+                }
+            }
+        }
+        sites
+    }
+
+    /// All instrumentation sites of conditional branches in `func`.
+    pub fn branch_sites_of(&self, func: FuncId) -> Vec<fp_runtime::BranchId> {
+        let mut sites = Vec::new();
+        for block in &self.function(func).blocks {
+            if let Terminator::CondBr { site: Some(s), .. } = block.term {
+                sites.push(s);
+            }
+        }
+        sites
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, g) in self.globals.iter().enumerate() {
+            writeln!(f, "global g{} \"{}\" = {}", i, g.name, g.init)?;
+        }
+        for (fi, func) in self.functions.iter().enumerate() {
+            writeln!(
+                f,
+                "func @{} \"{}\" (params: {}, regs: {}) {{",
+                fi, func.name, func.num_params, func.num_regs
+            )?;
+            for (bi, block) in func.blocks.iter().enumerate() {
+                writeln!(f, "bb{bi}:")?;
+                for inst in &block.insts {
+                    writeln!(f, "  {inst}")?;
+                }
+                writeln!(f, "  {}", block.term)?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_apply_matches_ieee() {
+        assert_eq!(BinOp::Add.apply(0.1, 0.2), 0.1 + 0.2);
+        assert_eq!(BinOp::Div.apply(1.0, 0.0), f64::INFINITY);
+        assert_eq!(BinOp::Pow.apply(2.0, 10.0), 1024.0);
+        assert_eq!(BinOp::Min.apply(1.0, -2.0), -2.0);
+        assert_eq!(BinOp::Max.apply(1.0, -2.0), 1.0);
+    }
+
+    #[test]
+    fn unop_apply_matches_ieee() {
+        assert_eq!(UnOp::Abs.apply(-3.0), 3.0);
+        assert_eq!(UnOp::Sqrt.apply(4.0), 2.0);
+        assert!(UnOp::Sqrt.apply(-1.0).is_nan());
+        assert_eq!(UnOp::Floor.apply(2.7), 2.0);
+        assert_eq!(UnOp::Neg.apply(5.0), -5.0);
+    }
+
+    #[test]
+    fn inst_dst_and_site() {
+        let i = Inst::Bin {
+            dst: Reg(3),
+            op: BinOp::Mul,
+            lhs: Reg(1),
+            rhs: Reg(2),
+            site: Some(OpId(7)),
+        };
+        assert_eq!(i.dst(), Some(Reg(3)));
+        assert_eq!(i.site(), Some(OpId(7)));
+        let s = Inst::StoreGlobal {
+            global: GlobalId(0),
+            src: Reg(1),
+        };
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.site(), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(2)).successors(), vec![BlockId(2)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+        let br = Terminator::CondBr {
+            site: None,
+            lhs: Reg(0),
+            cmp: Cmp::Le,
+            rhs: Reg(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn module_lookup_and_globals() {
+        let mut m = Module::new();
+        let g = m.add_global("w", 1.0);
+        assert_eq!(m.global_by_name("w"), Some(g));
+        assert_eq!(m.global_by_name("missing"), None);
+        m.functions.push(Function {
+            name: "f".into(),
+            num_params: 1,
+            num_regs: 0,
+            blocks: vec![Block::new()],
+        });
+        assert_eq!(m.function_by_name("f"), Some(FuncId(0)));
+        assert_eq!(m.function(FuncId(0)).entry(), BlockId(0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = Module::new();
+        m.add_global("w", 0.0);
+        m.functions.push(Function {
+            name: "f".into(),
+            num_params: 0,
+            num_regs: 1,
+            blocks: vec![Block {
+                insts: vec![Inst::Const {
+                    dst: Reg(0),
+                    value: 2.5,
+                }],
+                term: Terminator::Return(Some(Reg(0))),
+            }],
+        });
+        let text = m.to_string();
+        assert!(text.contains("fconst 2.5"));
+        assert!(text.contains("ret %0"));
+        assert!(text.contains("global g0"));
+    }
+}

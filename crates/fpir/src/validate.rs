@@ -1,0 +1,313 @@
+//! Structural validation of IR modules.
+
+use crate::ir::{FuncId, Inst, Module, Terminator};
+use std::fmt;
+
+/// A structural error found in a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A function has no blocks.
+    EmptyFunction {
+        /// The offending function.
+        func: FuncId,
+    },
+    /// A register index is out of range.
+    BadRegister {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
+    /// A block target is out of range.
+    BadBlockTarget {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
+    /// A parameter index is out of range.
+    BadParamIndex {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
+    /// A call references a missing function or has the wrong arity.
+    BadCall {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
+    /// A global cell index is out of range.
+    BadGlobal {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyFunction { func } => {
+                write!(f, "function {func} has no blocks")
+            }
+            ValidationError::BadRegister { func, detail } => {
+                write!(f, "bad register in {func}: {detail}")
+            }
+            ValidationError::BadBlockTarget { func, detail } => {
+                write!(f, "bad block target in {func}: {detail}")
+            }
+            ValidationError::BadParamIndex { func, detail } => {
+                write!(f, "bad parameter index in {func}: {detail}")
+            }
+            ValidationError::BadCall { func, detail } => {
+                write!(f, "bad call in {func}: {detail}")
+            }
+            ValidationError::BadGlobal { func, detail } => {
+                write!(f, "bad global in {func}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates every function of a module; returns the first error found, or
+/// `Ok(())`.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] describing the first structural problem:
+/// out-of-range registers, blocks, parameters, globals, or ill-formed calls.
+pub fn validate(module: &Module) -> Result<(), ValidationError> {
+    for (fi, func) in module.functions.iter().enumerate() {
+        let fid = FuncId(fi);
+        if func.blocks.is_empty() {
+            return Err(ValidationError::EmptyFunction { func: fid });
+        }
+        let check_reg = |r: crate::ir::Reg, what: &str| {
+            if r.0 >= func.num_regs {
+                Err(ValidationError::BadRegister {
+                    func: fid,
+                    detail: format!("{what} uses {r} but the function has {} registers", func.num_regs),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_block = |b: crate::ir::BlockId| {
+            if b.0 >= func.blocks.len() {
+                Err(ValidationError::BadBlockTarget {
+                    func: fid,
+                    detail: format!("target {b} out of {} blocks", func.blocks.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for block in &func.blocks {
+            for inst in &block.insts {
+                if let Some(dst) = inst.dst() {
+                    check_reg(dst, "destination")?;
+                }
+                match inst {
+                    Inst::Const { .. } => {}
+                    Inst::Copy { src, .. } => check_reg(*src, "copy source")?,
+                    Inst::Param { index, .. } => {
+                        if *index >= func.num_params {
+                            return Err(ValidationError::BadParamIndex {
+                                func: fid,
+                                detail: format!(
+                                    "parameter {index} of {} parameters",
+                                    func.num_params
+                                ),
+                            });
+                        }
+                    }
+                    Inst::Bin { lhs, rhs, .. } => {
+                        check_reg(*lhs, "binary lhs")?;
+                        check_reg(*rhs, "binary rhs")?;
+                    }
+                    Inst::Un { arg, .. } => check_reg(*arg, "unary operand")?,
+                    Inst::Cmp { lhs, rhs, .. } => {
+                        check_reg(*lhs, "compare lhs")?;
+                        check_reg(*rhs, "compare rhs")?;
+                    }
+                    Inst::Select {
+                        cond,
+                        if_true,
+                        if_false,
+                        ..
+                    } => {
+                        check_reg(*cond, "select condition")?;
+                        check_reg(*if_true, "select true value")?;
+                        check_reg(*if_false, "select false value")?;
+                    }
+                    Inst::Call { func: callee, args, .. } => {
+                        if callee.0 >= module.functions.len() {
+                            return Err(ValidationError::BadCall {
+                                func: fid,
+                                detail: format!("callee {callee} does not exist"),
+                            });
+                        }
+                        let expected = module.functions[callee.0].num_params;
+                        if args.len() != expected {
+                            return Err(ValidationError::BadCall {
+                                func: fid,
+                                detail: format!(
+                                    "callee {callee} expects {expected} arguments, got {}",
+                                    args.len()
+                                ),
+                            });
+                        }
+                        for a in args {
+                            check_reg(*a, "call argument")?;
+                        }
+                    }
+                    Inst::LoadGlobal { global, .. } | Inst::StoreGlobal { global, .. } => {
+                        if global.0 >= module.globals.len() {
+                            return Err(ValidationError::BadGlobal {
+                                func: fid,
+                                detail: format!("global {global} does not exist"),
+                            });
+                        }
+                        if let Inst::StoreGlobal { src, .. } = inst {
+                            check_reg(*src, "store source")?;
+                        }
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::Jump(b) => check_block(*b)?,
+                Terminator::CondBr {
+                    lhs,
+                    rhs,
+                    then_bb,
+                    else_bb,
+                    ..
+                } => {
+                    check_reg(*lhs, "branch lhs")?;
+                    check_reg(*rhs, "branch rhs")?;
+                    check_block(*then_bb)?;
+                    check_block(*else_bb)?;
+                }
+                Terminator::Return(Some(r)) => check_reg(*r, "return value")?,
+                Terminator::Return(None) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{BinOp, Block, BlockId, Function, Reg};
+    use fp_runtime::Cmp;
+
+    fn good_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        let mut f = mb.function("f", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let y = f.bin(BinOp::Add, x, one, Some(0));
+        f.store_global(w, y);
+        let t = f.new_block();
+        let e = f.new_block();
+        f.cond_br(Some(0), y, Cmp::Le, one, t, e);
+        f.switch_to(t);
+        f.ret(Some(y));
+        f.switch_to(e);
+        f.ret(None);
+        f.finish();
+        mb.build()
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        assert_eq!(validate(&good_module()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut m = good_module();
+        m.functions[0].blocks[0].insts.push(crate::ir::Inst::Copy {
+            dst: Reg(0),
+            src: Reg(999),
+        });
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err, ValidationError::BadRegister { .. }));
+        assert!(err.to_string().contains("register"));
+    }
+
+    #[test]
+    fn rejects_bad_block_target() {
+        let mut m = good_module();
+        m.functions[0].blocks[1].term = crate::ir::Terminator::Jump(BlockId(77));
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::BadBlockTarget { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut m = good_module();
+        // Add a caller passing no arguments to the unary function 0.
+        m.functions.push(Function {
+            name: "caller".into(),
+            num_params: 0,
+            num_regs: 1,
+            blocks: vec![Block {
+                insts: vec![crate::ir::Inst::Call {
+                    dst: Reg(0),
+                    func: crate::ir::FuncId(0),
+                    args: vec![],
+                }],
+                term: crate::ir::Terminator::Return(None),
+            }],
+        });
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::BadCall { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_global() {
+        let mut m = good_module();
+        m.globals.clear();
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::BadGlobal { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let mut m = good_module();
+        m.functions[0].blocks.clear();
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::EmptyFunction { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_param_index() {
+        let mut m = good_module();
+        m.functions[0].blocks[0].insts.push(crate::ir::Inst::Param {
+            dst: Reg(0),
+            index: 5,
+        });
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::BadParamIndex { .. }
+        ));
+    }
+}

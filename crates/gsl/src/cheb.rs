@@ -1,0 +1,137 @@
+//! Chebyshev series evaluation, GSL's `cheb_eval_e`.
+//!
+//! GSL evaluates most of its special functions through Chebyshev expansions.
+//! The Airy port of this crate replaces GSL's large coefficient tables with
+//! short asymptotic series (see `DESIGN.md`), but the evaluation machinery
+//! itself is provided and used — it is the "nontrivial computation (with a
+//! loop)" that the paper's Bug 1 description refers to.
+
+use crate::machine::GSL_DBL_EPSILON;
+use crate::result::SfResult;
+
+/// A Chebyshev series on the interval `[a, b]` (GSL's `cheb_series`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebSeries {
+    /// Chebyshev coefficients `c_0 .. c_n`.
+    pub coeffs: Vec<f64>,
+    /// Lower end of the expansion interval.
+    pub a: f64,
+    /// Upper end of the expansion interval.
+    pub b: f64,
+}
+
+impl ChebSeries {
+    /// Creates a series from coefficients on `[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or `a >= b`.
+    pub fn new(coeffs: Vec<f64>, a: f64, b: f64) -> Self {
+        assert!(!coeffs.is_empty(), "a Chebyshev series needs coefficients");
+        assert!(a < b, "invalid expansion interval [{a}, {b}]");
+        ChebSeries { coeffs, a, b }
+    }
+
+    /// Evaluates the series at `x` with Clenshaw recurrence, returning the
+    /// value and an error estimate (port of GSL's `cheb_eval_e`).
+    pub fn eval(&self, x: f64) -> SfResult {
+        let mut d = 0.0;
+        let mut dd = 0.0;
+        let y = (2.0 * x - self.a - self.b) / (self.b - self.a);
+        let y2 = 2.0 * y;
+        let mut e = 0.0;
+        for j in (1..self.coeffs.len()).rev() {
+            let temp = d;
+            d = y2 * d - dd + self.coeffs[j];
+            e += (y2 * temp).abs() + dd.abs() + self.coeffs[j].abs();
+            dd = temp;
+        }
+        let temp = d;
+        let val = y * d - dd + 0.5 * self.coeffs[0];
+        e += (y * temp).abs() + dd.abs() + 0.5 * self.coeffs[0].abs();
+        SfResult {
+            val,
+            err: GSL_DBL_EPSILON * e + self.coeffs.last().copied().unwrap_or(0.0).abs(),
+        }
+    }
+
+    /// Number of coefficients.
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Fits a Chebyshev series of the given order to `f` on `[a, b]` by the
+    /// standard cosine-sampling formula. Used to build the small correction
+    /// tables of the Airy port and in tests.
+    pub fn fit<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, order: usize) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        let n = order;
+        let mut samples = Vec::with_capacity(n);
+        for k in 0..n {
+            let theta = std::f64::consts::PI * (k as f64 + 0.5) / n as f64;
+            let x = 0.5 * (a + b) + 0.5 * (b - a) * theta.cos();
+            samples.push(f(x));
+        }
+        let mut coeffs = vec![0.0; n];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for (k, s) in samples.iter().enumerate() {
+                let theta = std::f64::consts::PI * (k as f64 + 0.5) / n as f64;
+                sum += s * (j as f64 * theta).cos();
+            }
+            *c = 2.0 * sum / n as f64;
+        }
+        ChebSeries::new(coeffs, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_constant_series() {
+        // f(x) = 3: c0 = 6 (the evaluation halves c0).
+        let s = ChebSeries::new(vec![6.0], -1.0, 1.0);
+        assert!((s.eval(0.3).val - 3.0).abs() < 1e-14);
+        assert_eq!(s.order(), 1);
+    }
+
+    #[test]
+    fn evaluates_linear_series() {
+        // f(x) = x on [-1, 1] has c1 = 1 and all other coefficients 0.
+        let s = ChebSeries::new(vec![0.0, 1.0], -1.0, 1.0);
+        for x in [-1.0, -0.25, 0.0, 0.6, 1.0] {
+            assert!((s.eval(x).val - x).abs() < 1e-14, "at {x}");
+        }
+    }
+
+    #[test]
+    fn fit_reproduces_smooth_function() {
+        let s = ChebSeries::fit(f64::exp, -1.0, 1.0, 16);
+        for i in 0..20 {
+            let x = -1.0 + 2.0 * i as f64 / 19.0;
+            assert!((s.eval(x).val - x.exp()).abs() < 1e-12, "exp({x})");
+        }
+    }
+
+    #[test]
+    fn fit_respects_general_intervals() {
+        let s = ChebSeries::fit(|x| x * x - 2.0 * x, 1.0, 5.0, 12);
+        for x in [1.0, 2.5, 4.0, 5.0] {
+            assert!((s.eval(x).val - (x * x - 2.0 * x)).abs() < 1e-10, "at {x}");
+        }
+    }
+
+    #[test]
+    fn error_estimate_is_positive() {
+        let s = ChebSeries::fit(f64::sin, -1.0, 1.0, 10);
+        assert!(s.eval(0.5).err > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn rejects_bad_interval() {
+        let _ = ChebSeries::new(vec![1.0], 2.0, 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Rust ports of the benchmark programs analysed in the paper.
+//!
+//! The paper's experiments analyse C code from the GNU Scientific Library
+//! (GSL) and the GNU C library through LLVM instrumentation. This crate
+//! provides behaviour-preserving Rust ports of those benchmarks so that the
+//! analyses can run without a C toolchain:
+//!
+//! * [`result`], [`machine`] — the GSL `gsl_sf_result` / error-status
+//!   convention and machine constants;
+//! * [`cheb`] — Chebyshev series evaluation (GSL's `cheb_eval_e`);
+//! * [`bessel`] — `gsl_sf_bessel_Knu_scaled_asympx_e` (Fig. 5; Table 4);
+//! * [`hyperg`] — `gsl_sf_hyperg_2F0_e` (Table 3, Table 5);
+//! * [`airy`] — `gsl_sf_airy_Ai_e` with `airy_mod_phase` and
+//!   `gsl_sf_cos_err_e` (Table 3, Table 5, the two confirmed bugs);
+//! * [`trig`] — the naive-reduction cosine whose inaccuracy underlies Bug 2;
+//! * [`glibc_sin`] — the branch structure of Glibc 2.19's `sin`
+//!   (Fig. 8; Table 2; Fig. 9);
+//! * [`toy`] — the example programs of Figs. 1 and 2.
+//!
+//! Every benchmark comes in two flavours: a plain function with the GSL
+//! calling convention, and a *probed* [`Analyzable`](fp_runtime::Analyzable)
+//! wrapper that reports each floating-point operation and branch to the
+//! analyses (the hand-instrumented equivalent of the paper's LLVM pass).
+//!
+//! # Substitutions with respect to the original C code
+//!
+//! The ports preserve the IEEE-754 binary64 arithmetic, branch structure and
+//! error-handling convention of the originals, but replace GSL's large
+//! Chebyshev coefficient tables with short asymptotic/Taylor series of
+//! equivalent shape, and `gsl_sf_hyperg_U_e` with a truncated asymptotic
+//! series. The two confirmed Airy bugs of the paper (a division by a
+//! vanishing intermediate and a cosine evaluated after failed argument
+//! reduction) are reproduced as behaviourally equivalent seeded defects.
+//! See `DESIGN.md` for the full substitution table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airy;
+pub mod bessel;
+pub mod cheb;
+pub mod glibc_sin;
+pub mod hyperg;
+pub mod machine;
+pub mod result;
+pub mod toy;
+pub mod trig;
+
+pub use result::{SfResult, Status};

@@ -1,0 +1,57 @@
+//! Machine constants (GSL's `gsl_machine.h` subset) and common mathematical
+//! constants used by the ported functions.
+
+/// `GSL_DBL_EPSILON`: the binary64 machine epsilon.
+pub const GSL_DBL_EPSILON: f64 = 2.220_446_049_250_313_1e-16;
+
+/// `GSL_SQRT_DBL_EPSILON`.
+pub const GSL_SQRT_DBL_EPSILON: f64 = 1.490_116_119_384_765_6e-8;
+
+/// `GSL_DBL_MIN`: smallest positive normal binary64.
+pub const GSL_DBL_MIN: f64 = 2.225_073_858_507_201_4e-308;
+
+/// `GSL_DBL_MAX`: largest finite binary64.
+pub const GSL_DBL_MAX: f64 = f64::MAX;
+
+/// `GSL_LOG_DBL_MAX`: natural log of [`GSL_DBL_MAX`].
+pub const GSL_LOG_DBL_MAX: f64 = 709.782_712_893_384;
+
+/// `GSL_LOG_DBL_MIN`: natural log of [`GSL_DBL_MIN`].
+pub const GSL_LOG_DBL_MIN: f64 = -708.396_418_532_264_1;
+
+/// `GSL_SQRT_DBL_MAX`.
+pub const GSL_SQRT_DBL_MAX: f64 = 1.340_780_792_994_259_6e154;
+
+/// π.
+pub const M_PI: f64 = std::f64::consts::PI;
+
+/// π/4.
+pub const M_PI_4: f64 = std::f64::consts::FRAC_PI_4;
+
+/// √π.
+pub const M_SQRTPI: f64 = 1.772_453_850_905_516;
+
+/// Euler's number e.
+pub const M_E: f64 = std::f64::consts::E;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_matches_f64() {
+        assert_eq!(GSL_DBL_EPSILON, f64::EPSILON);
+    }
+
+    #[test]
+    fn log_max_is_consistent() {
+        assert!((GSL_LOG_DBL_MAX.exp() / GSL_DBL_MAX - 1.0).abs() < 1e-10);
+        assert!(GSL_DBL_MIN > 0.0);
+        assert!((GSL_SQRT_DBL_MAX * GSL_SQRT_DBL_MAX).is_finite());
+    }
+
+    #[test]
+    fn sqrt_pi_squared_is_pi() {
+        assert!((M_SQRTPI * M_SQRTPI - M_PI).abs() < 1e-15);
+    }
+}

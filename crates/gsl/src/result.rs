@@ -1,0 +1,125 @@
+//! The GSL result and error-status convention.
+//!
+//! GSL special functions return an error code and fill in a
+//! `gsl_sf_result { double val; double err; }`. The paper's "inconsistency"
+//! notion (Section 6.3.2) is defined against exactly this convention:
+//! `status == GSL_SUCCESS` while `val` or `err` is `±inf` or NaN.
+
+use std::fmt;
+
+/// The GSL computation result: a value and an error estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SfResult {
+    /// Computed value (`result->val`).
+    pub val: f64,
+    /// Absolute error estimate (`result->err`).
+    pub err: f64,
+}
+
+impl SfResult {
+    /// Creates a result.
+    pub fn new(val: f64, err: f64) -> Self {
+        SfResult { val, err }
+    }
+
+    /// Returns `true` if either the value or the error estimate is
+    /// non-finite — the observable symptom of the paper's inconsistencies.
+    pub fn is_exceptional(&self) -> bool {
+        !self.val.is_finite() || !self.err.is_finite()
+    }
+}
+
+impl fmt::Display for SfResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ± {}", self.val, self.err)
+    }
+}
+
+/// GSL error codes (the subset used by the ported functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// `GSL_SUCCESS` (0).
+    Success,
+    /// `GSL_EDOM`: input domain error.
+    Domain,
+    /// `GSL_ERANGE`: output range error.
+    Range,
+    /// `GSL_EOVRFLW`: overflow.
+    Overflow,
+    /// `GSL_EUNDRFLW`: underflow.
+    Underflow,
+}
+
+impl Status {
+    /// Returns `true` for `GSL_SUCCESS`.
+    pub fn is_success(self) -> bool {
+        self == Status::Success
+    }
+
+    /// The numeric error code, matching GSL's values.
+    pub fn code(self) -> i32 {
+        match self {
+            Status::Success => 0,
+            Status::Domain => 1,
+            Status::Range => 2,
+            Status::Overflow => 16,
+            Status::Underflow => 15,
+        }
+    }
+
+    /// GSL's `GSL_ERROR_SELECT_2`: the first non-success status wins.
+    pub fn select(self, other: Status) -> Status {
+        if self.is_success() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Success => "GSL_SUCCESS",
+            Status::Domain => "GSL_EDOM",
+            Status::Range => "GSL_ERANGE",
+            Status::Overflow => "GSL_EOVRFLW",
+            Status::Underflow => "GSL_EUNDRFLW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A special-function evaluation outcome: status plus result, as reported by
+/// the GSL calling convention `int f(double..., gsl_sf_result*)`.
+pub type SfOutcome = (SfResult, Status);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceptional_detection() {
+        assert!(!SfResult::new(1.0, 1e-10).is_exceptional());
+        assert!(SfResult::new(f64::INFINITY, 0.0).is_exceptional());
+        assert!(SfResult::new(0.0, f64::NAN).is_exceptional());
+        assert!(SfResult::new(-f64::INFINITY, f64::INFINITY).is_exceptional());
+    }
+
+    #[test]
+    fn status_codes_and_select() {
+        assert!(Status::Success.is_success());
+        assert!(!Status::Domain.is_success());
+        assert_eq!(Status::Success.code(), 0);
+        assert_eq!(Status::Overflow.code(), 16);
+        assert_eq!(Status::Success.select(Status::Domain), Status::Domain);
+        assert_eq!(Status::Domain.select(Status::Success), Status::Domain);
+        assert_eq!(Status::Success.select(Status::Success), Status::Success);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Status::Success.to_string(), "GSL_SUCCESS");
+        assert!(SfResult::new(1.5, 0.25).to_string().contains("±"));
+    }
+}

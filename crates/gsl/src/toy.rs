@@ -1,0 +1,294 @@
+//! The small example programs of Figs. 1 and 2, hand instrumented.
+//!
+//! These are the programs used throughout Sections 1–4 of the paper and in
+//! the Table 1 backend comparison. Each is exposed both as a plain function
+//! and as a probed [`Analyzable`] benchmark.
+
+use fp_runtime::{Analyzable, BranchSite, Cmp, Ctx, FpOp, Interval, NullObserver, OpSite};
+
+/// Fig. 2 of the paper:
+///
+/// ```c
+/// void Prog(double x) {
+///     if (x <= 1.0) x++;
+///     double y = x * x;
+///     if (y <= 4.0) x--;
+/// }
+/// ```
+///
+/// Branch site 0 is `x <= 1.0` and branch site 1 is `y <= 4.0`. The known
+/// boundary values are `-3.0`, `1.0` and `2.0` (plus `0.999…9` found by the
+/// paper's own experiment); the path through both branches is triggered by
+/// any `x ∈ [-3, 1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig2Program;
+
+impl Fig2Program {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Fig2Program
+    }
+
+    /// Plain execution returning the final value of `x`.
+    pub fn eval(x: f64) -> f64 {
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        Fig2Program.execute(&[x], &mut ctx).expect("total function")
+    }
+}
+
+impl Analyzable for Fig2Program {
+    fn name(&self) -> &str {
+        "fig2"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        // The paper samples this example over a modest range (Fig. 3(c) shows
+        // samples within roughly [-100, 100]).
+        vec![Interval::symmetric(1.0e6)]
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        vec![
+            OpSite::new(0, FpOp::Add, "x++"),
+            OpSite::new(1, FpOp::Mul, "double y = x * x"),
+            OpSite::new(2, FpOp::Sub, "x--"),
+        ]
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        vec![
+            BranchSite::new(0, Cmp::Le, "x <= 1.0"),
+            BranchSite::new(1, Cmp::Le, "y <= 4.0"),
+        ]
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        let mut x = input[0];
+        if ctx.branch(0, x, Cmp::Le, 1.0) {
+            x = ctx.op(0, FpOp::Add, x + 1.0);
+        }
+        let y = ctx.op(1, FpOp::Mul, x * x);
+        if ctx.branch(1, y, Cmp::Le, 4.0) {
+            x = ctx.op(2, FpOp::Sub, x - 1.0);
+        }
+        Some(x)
+    }
+}
+
+/// Fig. 1(a): `if (x < 1) { x = x + 1; assert(x < 2); }`.
+///
+/// The assertion is modelled as branch site 1; `execute` returns 0.0 when
+/// the assertion is violated and 1.0 otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig1aProgram;
+
+impl Fig1aProgram {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Fig1aProgram
+    }
+}
+
+impl Analyzable for Fig1aProgram {
+    fn name(&self) -> &str {
+        "fig1a"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        vec![Interval::symmetric(1.0e3)]
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        vec![OpSite::new(0, FpOp::Add, "x = x + 1")]
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        vec![
+            BranchSite::new(0, Cmp::Lt, "x < 1"),
+            BranchSite::new(1, Cmp::Lt, "assert(x < 2)"),
+        ]
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        let mut x = input[0];
+        if ctx.branch(0, x, Cmp::Lt, 1.0) {
+            x = ctx.op(0, FpOp::Add, x + 1.0);
+            if !ctx.branch(1, x, Cmp::Lt, 2.0) {
+                return Some(0.0); // assertion failure
+            }
+        }
+        Some(1.0)
+    }
+}
+
+/// Fig. 1(b): as [`Fig1aProgram`] but with `x = x + tan(x)` — the variant
+/// that SMT-based approaches cannot model because `tan` is implementation
+/// defined.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig1bProgram;
+
+impl Fig1bProgram {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        Fig1bProgram
+    }
+}
+
+impl Analyzable for Fig1bProgram {
+    fn name(&self) -> &str {
+        "fig1b"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        vec![Interval::symmetric(1.0e3)]
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        vec![
+            OpSite::new(0, FpOp::Tan, "tan(x)"),
+            OpSite::new(1, FpOp::Add, "x = x + tan(x)"),
+        ]
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        vec![
+            BranchSite::new(0, Cmp::Lt, "x < 1"),
+            BranchSite::new(1, Cmp::Lt, "assert(x < 2)"),
+        ]
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        let mut x = input[0];
+        if ctx.branch(0, x, Cmp::Lt, 1.0) {
+            let t = ctx.op(0, FpOp::Tan, x.tan());
+            x = ctx.op(1, FpOp::Add, x + t);
+            if !ctx.branch(1, x, Cmp::Lt, 2.0) {
+                return Some(0.0);
+            }
+        }
+        Some(1.0)
+    }
+}
+
+/// The Section 5.2 program `if (x == 0) ...`, used to illustrate
+/// Limitation 2 (weak distances built with `x*x` underflow).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqZeroProgram;
+
+impl EqZeroProgram {
+    /// Creates the benchmark.
+    pub fn new() -> Self {
+        EqZeroProgram
+    }
+}
+
+impl Analyzable for EqZeroProgram {
+    fn name(&self) -> &str {
+        "eq-zero"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        vec![Interval::symmetric(1.0e3)]
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        Vec::new()
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        vec![BranchSite::new(0, Cmp::Eq, "x == 0")]
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        if ctx.branch(0, input[0], Cmp::Eq, 0.0) {
+            Some(1.0)
+        } else {
+            Some(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_runtime::TraceRecorder;
+
+    #[test]
+    fn fig2_matches_source_semantics() {
+        assert_eq!(Fig2Program::eval(0.5), 0.5); // both branches
+        assert_eq!(Fig2Program::eval(3.0), 3.0); // neither branch
+        assert_eq!(Fig2Program::eval(1.5), 0.5); // second branch only
+        assert_eq!(Fig2Program::eval(-3.0), -3.0); // both branches (y = 4)
+    }
+
+    #[test]
+    fn fig2_known_boundary_values() {
+        // x = 1: first comparison is an equality; x = 2 and x = -3 make y = 4.
+        for (x, site) in [(1.0, 0u32), (2.0, 1), (-3.0, 1)] {
+            let mut rec = TraceRecorder::new();
+            Fig2Program::new().run(&[x], &mut rec);
+            assert!(
+                rec.branches().any(|b| b.id.0 == site && b.lhs == b.rhs),
+                "x = {x} should hit the boundary of branch {site}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1a_rounding_counterexample() {
+        let p = Fig1aProgram::new();
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        // Section 1: this input takes the branch yet violates the assertion.
+        assert_eq!(p.execute(&[0.999_999_999_999_999_9], &mut ctx), Some(0.0));
+        let mut ctx = Ctx::new(&mut obs);
+        assert_eq!(p.execute(&[0.5], &mut ctx), Some(1.0));
+        let mut ctx = Ctx::new(&mut obs);
+        assert_eq!(p.execute(&[2.0], &mut ctx), Some(1.0));
+    }
+
+    #[test]
+    fn fig1b_reports_tan_events() {
+        let p = Fig1bProgram::new();
+        let mut rec = TraceRecorder::new();
+        p.run(&[0.3], &mut rec);
+        assert!(rec.ops().any(|o| o.op == FpOp::Tan));
+    }
+
+    #[test]
+    fn eq_zero_only_zero_satisfies() {
+        let p = EqZeroProgram::new();
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        assert_eq!(p.execute(&[0.0], &mut ctx), Some(1.0));
+        let mut ctx = Ctx::new(&mut obs);
+        assert_eq!(p.execute(&[1.0e-200], &mut ctx), Some(0.0));
+    }
+
+    #[test]
+    fn metadata_of_all_toys() {
+        assert_eq!(Fig2Program::new().branch_sites().len(), 2);
+        assert_eq!(Fig2Program::new().op_sites().len(), 3);
+        assert_eq!(Fig1aProgram::new().branch_sites().len(), 2);
+        assert_eq!(Fig1bProgram::new().op_sites().len(), 2);
+        assert_eq!(EqZeroProgram::new().branch_sites().len(), 1);
+        assert_eq!(Fig2Program::new().num_inputs(), 1);
+    }
+}

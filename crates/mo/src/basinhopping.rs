@@ -1,0 +1,380 @@
+//! Basin hopping: Markov-chain Monte-Carlo over local minimum points.
+//!
+//! This is the paper's default MO backend (Section 4.4, Algorithm 3 step 5).
+//! Each iteration perturbs the current point, runs a local minimization from
+//! the perturbed point and accepts or rejects the new local minimum with a
+//! Metropolis criterion (Li & Scheraga 1987; Wales & Doye 1998).
+//!
+//! Because weak distances are defined over the whole binary64 range, the
+//! step proposal mixes *relative/additive* moves (good near the current
+//! basin) with *exponent jumps* that rescale a coordinate by a random power
+//! of ten (needed to reach overflow-triggering inputs with magnitudes near
+//! `1e308`). The proposal distribution is a backend implementation detail —
+//! the paper treats the backend as a black box — and is documented here for
+//! reproducibility.
+
+use crate::evaluator::Evaluator;
+use crate::nelder_mead::NelderMead;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{better, GlobalMinimizer, LocalMinimizer, Problem};
+use rand::Rng;
+
+/// Which local search basin hopping uses between hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSearch {
+    /// Nelder–Mead downhill simplex (default).
+    NelderMead,
+    /// Powell's conjugate-direction method.
+    Powell,
+    /// No local search: pure Monte-Carlo hopping.
+    None,
+}
+
+/// Configuration of the basin-hopping backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasinHopping {
+    /// Number of hops (outer iterations).
+    pub n_hops: usize,
+    /// Metropolis temperature.
+    pub temperature: f64,
+    /// Additive step size (scaled by `1 + |x|`).
+    pub step_size: f64,
+    /// Probability of proposing an exponent jump instead of an additive move.
+    pub exponent_jump_prob: f64,
+    /// Largest power-of-ten change of an exponent jump.
+    pub max_exponent_jump: f64,
+    /// Evaluation budget of each local search.
+    pub local_max_evals: usize,
+    /// Local search algorithm.
+    pub local_search: LocalSearch,
+    /// Run a ULP-space polish ([`crate::UlpSearch`]) on new incumbents when a
+    /// target value is set, so that exact zeros of weak distances are reached.
+    pub polish: bool,
+}
+
+impl Default for BasinHopping {
+    fn default() -> Self {
+        BasinHopping {
+            n_hops: 120,
+            temperature: 1.0,
+            step_size: 0.5,
+            exponent_jump_prob: 0.4,
+            max_exponent_jump: 60.0,
+            local_max_evals: 600,
+            local_search: LocalSearch::NelderMead,
+            polish: true,
+        }
+    }
+}
+
+impl BasinHopping {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of hops.
+    pub fn with_hops(mut self, n: usize) -> Self {
+        self.n_hops = n;
+        self
+    }
+
+    /// Sets the local search used between hops.
+    pub fn with_local_search(mut self, local: LocalSearch) -> Self {
+        self.local_search = local;
+        self
+    }
+
+    /// Sets the per-local-search evaluation budget.
+    pub fn with_local_max_evals(mut self, evals: usize) -> Self {
+        self.local_max_evals = evals;
+        self
+    }
+
+    /// Sets the Metropolis temperature.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Enables or disables the ULP polish of new incumbents.
+    pub fn with_polish(mut self, polish: bool) -> Self {
+        self.polish = polish;
+        self
+    }
+
+    /// Polishes a candidate with a ULP-space compass search so that exact
+    /// zeros are reached when the candidate sits a few ULPs away.
+    fn maybe_polish(
+        &self,
+        problem: &Problem<'_>,
+        candidate: MinimizeResult,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        if !self.polish || problem.target.is_none() {
+            return candidate;
+        }
+        if problem.target_reached(candidate.value) || !candidate.value.is_finite() {
+            return candidate;
+        }
+        let budget = self.local_max_evals.max(400);
+        let polished =
+            crate::UlpSearch::default().minimize_from(problem, &candidate.x, budget, sink);
+        let evals = candidate.evals + polished.evals;
+        let mut merged = if better(polished.value, candidate.value) {
+            polished
+        } else {
+            candidate
+        };
+        merged.evals = evals;
+        merged
+    }
+
+    fn propose<R: Rng + ?Sized>(&self, rng: &mut R, x: &[f64], bounds: &crate::Bounds) -> Vec<f64> {
+        let mut y = x.to_vec();
+        // Occasionally restart from a fresh random point to escape flat
+        // plateaus (weak distances are often flat far from the solution set).
+        if rng.gen::<f64>() < 0.1 {
+            return bounds.sample(rng);
+        }
+        for yi in y.iter_mut() {
+            if rng.gen::<f64>() < self.exponent_jump_prob {
+                // Exponent jump: rescale by 10^U(-j, j), occasionally flip sign.
+                let jump = rng.gen_range(-self.max_exponent_jump..=self.max_exponent_jump);
+                let base = if *yi == 0.0 { 1.0 } else { yi.abs() };
+                let mut mag = base * 10.0_f64.powf(jump);
+                if !mag.is_finite() {
+                    mag = f64::MAX;
+                }
+                let sign = if rng.gen::<f64>() < 0.1 {
+                    -yi.signum()
+                } else if *yi == 0.0 {
+                    if rng.gen::<bool>() {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                } else {
+                    yi.signum()
+                };
+                *yi = sign * mag;
+            } else {
+                // Additive move scaled by the coordinate magnitude.
+                let scale = self.step_size * (1.0 + yi.abs());
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                *yi += u * scale;
+            }
+        }
+        bounds.clamp(&mut y);
+        y
+    }
+
+    fn local_refine(
+        &self,
+        problem: &Problem<'_>,
+        x0: &[f64],
+        budget: usize,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        match self.local_search {
+            LocalSearch::NelderMead => {
+                NelderMead::default().minimize_from(problem, x0, budget, sink)
+            }
+            LocalSearch::Powell => crate::Powell::default()
+                .with_max_iters(20)
+                .minimize_from(problem, x0, budget, sink),
+            LocalSearch::None => {
+                // Single evaluation at the proposed point.
+                let capped = Problem {
+                    objective: problem.objective,
+                    bounds: problem.bounds.clone(),
+                    target: problem.target,
+                    max_evals: problem.max_evals,
+                };
+                let mut ev = Evaluator::new(&capped, sink);
+                let v = ev.eval(x0);
+                MinimizeResult::new(x0.to_vec(), v, 1, Termination::IterationsCompleted)
+            }
+        }
+    }
+}
+
+impl GlobalMinimizer for BasinHopping {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let mut rng = crate::rng_from_seed(seed);
+        let mut total_evals = 0usize;
+
+        // Starting point and its local refinement.
+        let start = problem.bounds.sample(&mut rng);
+        let budget0 = self.local_max_evals.min(problem.max_evals);
+        let refined = self.local_refine(problem, &start, budget0, sink);
+        let mut current = self.maybe_polish(problem, refined, sink);
+        total_evals += current.evals;
+        let mut best = current.clone();
+
+        let mut termination = Termination::IterationsCompleted;
+        if best.value <= problem.target.unwrap_or(f64::NEG_INFINITY) {
+            termination = Termination::TargetReached;
+        } else {
+            for _ in 0..self.n_hops {
+                if total_evals >= problem.max_evals {
+                    termination = Termination::BudgetExhausted;
+                    break;
+                }
+                let proposal = self.propose(&mut rng, &current.x, &problem.bounds);
+                let budget = self
+                    .local_max_evals
+                    .min(problem.max_evals.saturating_sub(total_evals));
+                if budget == 0 {
+                    termination = Termination::BudgetExhausted;
+                    break;
+                }
+                let refined = self.local_refine(problem, &proposal, budget, sink);
+                let trial = if better(refined.value, best.value) {
+                    self.maybe_polish(problem, refined, sink)
+                } else {
+                    refined
+                };
+                total_evals += trial.evals;
+
+                if better(trial.value, best.value) {
+                    best = trial.clone();
+                }
+                if problem.target_reached(best.value) {
+                    termination = Termination::TargetReached;
+                    break;
+                }
+
+                // Metropolis acceptance on the local minima.
+                let accept = if better(trial.value, current.value) {
+                    true
+                } else if trial.value.is_nan() {
+                    false
+                } else {
+                    let delta = trial.value - current.value;
+                    let prob = (-delta / self.temperature.max(f64::MIN_POSITIVE)).exp();
+                    rng.gen::<f64>() < prob
+                };
+                if accept {
+                    current = trial;
+                }
+            }
+        }
+
+        MinimizeResult::new(best.x, best.value, total_evals, termination)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "Basinhopping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rastrigin, sphere};
+    use crate::{Bounds, FnObjective, NoTrace, SamplingTrace};
+
+    #[test]
+    fn minimizes_multimodal_rastrigin() {
+        let f = FnObjective::new(2, rastrigin);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.12))
+            .with_target(1e-6)
+            .with_max_evals(300_000);
+        let r = BasinHopping::default().with_hops(300).minimize(&p, 11, &mut NoTrace);
+        assert!(r.value < 1e-3, "value = {}", r.value);
+    }
+
+    #[test]
+    fn finds_zero_of_weak_distance_shape() {
+        // |x - 1| * |x + 3|: two zeros, flat growth — like a boundary weak distance.
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 1.0).abs() * (x[0] + 3.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0e6)).with_target(0.0);
+        let r = BasinHopping::default().minimize(&p, 3, &mut NoTrace);
+        assert_eq!(r.termination, Termination::TargetReached);
+        assert!(r.value == 0.0);
+        let x = r.x[0];
+        assert!((x - 1.0).abs() < 1e-9 || (x + 3.0).abs() < 1e-9, "x = {x}");
+    }
+
+    #[test]
+    fn reaches_huge_magnitudes() {
+        // Minimum requires |x| >= 1e300 — the overflow-detection shape
+        // w = MAX - |x| clamped at 0.
+        let f = FnObjective::new(1, |x: &[f64]| {
+            let a = x[0].abs();
+            if a >= 1.0e300 {
+                0.0
+            } else {
+                1.0e300 - a
+            }
+        });
+        let p = Problem::new(&f, Bounds::whole(1))
+            .with_target(0.0)
+            .with_max_evals(200_000);
+        let r = BasinHopping::default().minimize(&p, 5, &mut NoTrace);
+        assert_eq!(r.termination, Termination::TargetReached, "value = {:e}", r.value);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0)).with_max_evals(5_000);
+        let bh = BasinHopping::default().with_hops(10);
+        let r1 = bh.minimize(&p, 99, &mut NoTrace);
+        let r2 = bh.minimize(&p, 99, &mut NoTrace);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.value, r2.value);
+        assert_eq!(r1.evals, r2.evals);
+    }
+
+    #[test]
+    fn records_samples() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_max_evals(2_000);
+        let mut trace = SamplingTrace::new();
+        let r = BasinHopping::default().with_hops(5).minimize(&p, 1, &mut trace);
+        assert!(trace.len() > 0);
+        assert!(trace.len() as u64 == trace.total_seen());
+        assert!(r.evals <= 2_000);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let f = FnObjective::new(2, rastrigin);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.0)).with_max_evals(500);
+        let r = BasinHopping::default().minimize(&p, 2, &mut NoTrace);
+        // Each local search may overshoot slightly but the hop loop stops.
+        assert!(r.evals <= 1_200, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn pure_hopping_without_local_search() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0))
+            .with_target(0.5)
+            .with_max_evals(50_000);
+        let bh = BasinHopping::default()
+            .with_local_search(LocalSearch::None)
+            .with_hops(5_000);
+        let r = bh.minimize(&p, 4, &mut NoTrace);
+        assert!(r.value <= 0.5, "value = {}", r.value);
+    }
+
+    #[test]
+    fn powell_local_search_variant() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0))
+            .with_target(1e-9)
+            .with_max_evals(100_000);
+        let bh = BasinHopping::default().with_local_search(LocalSearch::Powell);
+        let r = bh.minimize(&p, 8, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+}

@@ -1,0 +1,213 @@
+//! Box constraints and starting-point sampling.
+//!
+//! Overflow detection looks for inputs with magnitudes up to `1e308`, while
+//! boundary value analysis of `sin` looks for inputs as small as `1e-8`.
+//! Uniform sampling over such a wide box would almost never produce small
+//! magnitudes, so [`Bounds::sample`] draws magnitudes *log-uniformly* (a
+//! uniformly random exponent) which roughly matches sampling floating-point
+//! numbers uniformly by representation — the behaviour the paper's random
+//! starting points rely on.
+
+use rand::Rng;
+use std::fmt;
+
+/// A per-dimension box `[lo_i, hi_i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    limits: Vec<(f64, f64)>,
+}
+
+impl Bounds {
+    /// Creates bounds from explicit per-dimension limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `lo > hi` or any endpoint is NaN.
+    pub fn new(limits: Vec<(f64, f64)>) -> Self {
+        for &(lo, hi) in &limits {
+            assert!(!lo.is_nan() && !hi.is_nan(), "bound endpoint is NaN");
+            assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+        }
+        Bounds { limits }
+    }
+
+    /// Symmetric bounds `[-r, r]` in every dimension.
+    pub fn symmetric(dim: usize, r: f64) -> Self {
+        Bounds::new(vec![(-r, r); dim])
+    }
+
+    /// The whole finite binary64 box in every dimension.
+    pub fn whole(dim: usize) -> Self {
+        Bounds::new(vec![(-f64::MAX, f64::MAX); dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.limits.len()
+    }
+
+    /// The `(lo, hi)` pair of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn limit(&self, i: usize) -> (f64, f64) {
+        self.limits[i]
+    }
+
+    /// All limits.
+    pub fn limits(&self) -> &[(f64, f64)] {
+        &self.limits
+    }
+
+    /// Clamps `x` into the box in place; NaN components are replaced by the
+    /// dimension midpoint.
+    pub fn clamp(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim());
+        for (xi, &(lo, hi)) in x.iter_mut().zip(&self.limits) {
+            if xi.is_nan() {
+                *xi = lo / 2.0 + hi / 2.0;
+            } else {
+                *xi = xi.clamp(lo, hi);
+            }
+        }
+    }
+
+    /// Returns a clamped copy of `x`.
+    pub fn clamped(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = x.to_vec();
+        self.clamp(&mut y);
+        y
+    }
+
+    /// Returns `true` if `x` lies inside the box.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(&self.limits)
+                .all(|(&xi, &(lo, hi))| xi >= lo && xi <= hi)
+    }
+
+    /// Draws a random point. Narrow dimensions (width below `1e6`) are
+    /// sampled uniformly; wide dimensions are sampled with a log-uniform
+    /// magnitude so that tiny and huge floats are both reachable.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.limits
+            .iter()
+            .map(|&(lo, hi)| Self::sample_dim(rng, lo, hi))
+            .collect()
+    }
+
+    fn sample_dim<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let width = hi - lo;
+        if width.is_finite() && width <= 1.0e6 {
+            return lo + rng.gen::<f64>() * width;
+        }
+        // Wide range: pick a sign permitted by the bounds, then a
+        // log-uniform magnitude up to the largest representable endpoint.
+        let max_mag = lo.abs().max(hi.abs()).min(f64::MAX);
+        let max_exp = max_mag.log10();
+        // Exponents from 1e-10 up to the bound magnitude.
+        let exp = -10.0 + rng.gen::<f64>() * (max_exp + 10.0);
+        let mag = 10.0_f64.powf(exp);
+        let candidate = if lo >= 0.0 {
+            mag
+        } else if hi <= 0.0 {
+            -mag
+        } else if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        };
+        candidate.clamp(lo, hi)
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bounds[")?;
+        for (i, (lo, hi)) in self.limits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{lo}, {hi}]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = Bounds::new(vec![(-1.0, 2.0), (0.0, 5.0)]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.limit(0), (-1.0, 2.0));
+        assert_eq!(b.limits().len(), 2);
+        assert!(b.contains(&[0.0, 3.0]));
+        assert!(!b.contains(&[3.0, 3.0]));
+        assert!(!b.contains(&[0.0]));
+    }
+
+    #[test]
+    fn clamp_handles_nan_and_out_of_range() {
+        let b = Bounds::symmetric(3, 1.0);
+        let mut x = vec![5.0, f64::NAN, -7.0];
+        b.clamp(&mut x);
+        assert_eq!(x, vec![1.0, 0.0, -1.0]);
+        assert_eq!(b.clamped(&[0.5, 0.5, 0.5]), vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn sample_stays_in_narrow_bounds() {
+        let b = Bounds::new(vec![(-2.0, 3.0), (10.0, 11.0)]);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            let x = b.sample(&mut rng);
+            assert!(b.contains(&x), "sample {x:?} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn sample_covers_magnitudes_in_wide_bounds() {
+        let b = Bounds::whole(1);
+        let mut rng = rng_from_seed(2);
+        let mut small = false;
+        let mut large = false;
+        let mut negative = false;
+        for _ in 0..2000 {
+            let x = b.sample(&mut rng)[0];
+            assert!(b.contains(&[x]));
+            if x.abs() < 1.0 {
+                small = true;
+            }
+            if x.abs() > 1.0e100 {
+                large = true;
+            }
+            if x < 0.0 {
+                negative = true;
+            }
+        }
+        assert!(small, "never sampled a small magnitude");
+        assert!(large, "never sampled a large magnitude");
+        assert!(negative, "never sampled a negative value");
+    }
+
+    #[test]
+    fn sample_respects_one_sided_bounds() {
+        let b = Bounds::new(vec![(0.0, f64::MAX)]);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..500 {
+            assert!(b.sample(&mut rng)[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_inverted_bounds() {
+        let _ = Bounds::new(vec![(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,268 @@
+//! One-dimensional minimization: bracketing plus Brent's method.
+//!
+//! Powell's method performs a sequence of line searches; each line search is
+//! a one-dimensional minimization along a direction. This module provides
+//! the classic golden-section bracketing routine and Brent's
+//! parabolic-interpolation minimizer (Powell 1964, Brent 1973).
+
+/// Result of a one-dimensional minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineMin {
+    /// Location of the minimum along the line parameter.
+    pub t: f64,
+    /// Function value at the minimum.
+    pub value: f64,
+    /// Number of function evaluations used.
+    pub evals: usize,
+}
+
+const GOLD: f64 = 1.618_033_988_749_895;
+const TINY: f64 = 1.0e-20;
+
+/// Brackets a minimum of `f` starting from the interval `[a, b]`.
+///
+/// Returns `(a, b, c)` with `a < b < c` (or the reverse ordering) such that
+/// `f(b) <= f(a)` and `f(b) <= f(c)`, along with the number of evaluations
+/// used. The expansion is capped at `max_evals` evaluations, in which case
+/// the last triple examined is returned even if it does not bracket.
+pub fn bracket<F: FnMut(f64) -> f64>(
+    mut a: f64,
+    mut b: f64,
+    f: &mut F,
+    max_evals: usize,
+) -> (f64, f64, f64, usize) {
+    let mut evals = 0;
+    let mut eval = |x: f64, evals: &mut usize| {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+    let mut fa = eval(a, &mut evals);
+    let mut fb = eval(b, &mut evals);
+    if fb > fa {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = b + GOLD * (b - a);
+    let mut fc = eval(c, &mut evals);
+    while fb > fc && evals < max_evals {
+        // Parabolic extrapolation, limited to a maximum magnification.
+        let r = (b - a) * (fb - fc);
+        let q = (b - c) * (fb - fa);
+        let denom = 2.0 * (q - r).abs().max(TINY) * (q - r).signum();
+        let mut u = b - ((b - c) * q - (b - a) * r) / denom;
+        let ulim = b + 100.0 * (c - b);
+        let fu;
+        if (b - u) * (u - c) > 0.0 {
+            fu = eval(u, &mut evals);
+            if fu < fc {
+                return (b, u, c, evals);
+            } else if fu > fb {
+                return (a, b, u, evals);
+            }
+            u = c + GOLD * (c - b);
+        } else if (c - u) * (u - ulim) > 0.0 {
+            fu = eval(u, &mut evals);
+            if fu < fc {
+                b = c;
+                c = u;
+                fb = fc;
+                fc = fu;
+                u = c + GOLD * (c - b);
+            }
+        } else if (u - ulim) * (ulim - c) >= 0.0 {
+            u = ulim;
+        } else {
+            u = c + GOLD * (c - b);
+        }
+        let fu = eval(u, &mut evals);
+        a = b;
+        b = c;
+        c = u;
+        fa = fb;
+        fb = fc;
+        fc = fu;
+    }
+    (a, b, c, evals)
+}
+
+/// Brent's method on the bracket `(a, b, c)` (with `f(b)` below both ends).
+///
+/// `tol` is the relative tolerance on the location of the minimum;
+/// `max_iters` bounds the number of iterations.
+pub fn brent<F: FnMut(f64) -> f64>(
+    ax: f64,
+    bx: f64,
+    cx: f64,
+    f: &mut F,
+    tol: f64,
+    max_iters: usize,
+) -> LineMin {
+    let mut evals = 0;
+    let mut eval = |x: f64, evals: &mut usize| {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+    const CGOLD: f64 = 0.381_966_011_250_105;
+    let zeps = f64::EPSILON * 1.0e-3;
+    let (mut a, mut b) = if ax < cx { (ax, cx) } else { (cx, ax) };
+    let mut x = bx;
+    let mut w = bx;
+    let mut v = bx;
+    let mut fx = eval(x, &mut evals);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    for _ in 0..max_iters {
+        let xm = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + zeps;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through x, v, w.
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = tol1.copysign(xm - x);
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { a - x } else { b - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
+        let fu = eval(u, &mut evals);
+        if fu <= fx {
+            if u >= x {
+                a = x;
+            } else {
+                b = x;
+            }
+            v = w;
+            w = x;
+            x = u;
+            fv = fw;
+            fw = fx;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                w = u;
+                fv = fw;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    LineMin {
+        t: x,
+        value: fx,
+        evals,
+    }
+}
+
+/// Convenience: bracket from `[t0, t1]` and then run Brent's method.
+pub fn line_minimize<F: FnMut(f64) -> f64>(
+    t0: f64,
+    t1: f64,
+    f: &mut F,
+    tol: f64,
+    max_evals: usize,
+) -> LineMin {
+    let (a, b, c, bracket_evals) = bracket(t0, t1, f, max_evals / 2);
+    let mut m = brent(a, b, c, f, tol, max_evals / 2);
+    m.evals += bracket_evals;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_finds_parabola_minimum() {
+        let mut f = |t: f64| (t - 3.5) * (t - 3.5) + 1.0;
+        let m = line_minimize(0.0, 1.0, &mut f, 1e-10, 500);
+        assert!((m.t - 3.5).abs() < 1e-6, "t = {}", m.t);
+        assert!((m.value - 1.0).abs() < 1e-10);
+        assert!(m.evals > 0);
+    }
+
+    #[test]
+    fn brent_handles_absolute_value_kink() {
+        let mut f = |t: f64| (t + 2.0).abs();
+        let m = line_minimize(0.0, 1.0, &mut f, 1e-12, 500);
+        assert!((m.t + 2.0).abs() < 1e-6, "t = {}", m.t);
+        assert!(m.value < 1e-6);
+    }
+
+    #[test]
+    fn brent_handles_nan_regions() {
+        // NaN outside [0, 10] must not poison the search.
+        let mut f = |t: f64| {
+            if !(0.0..=10.0).contains(&t) {
+                f64::NAN
+            } else {
+                (t - 4.0) * (t - 4.0)
+            }
+        };
+        let m = line_minimize(1.0, 2.0, &mut f, 1e-9, 500);
+        assert!((m.t - 4.0).abs() < 1e-4, "t = {}", m.t);
+    }
+
+    #[test]
+    fn bracket_expands_downhill() {
+        let mut f = |t: f64| (t - 100.0) * (t - 100.0);
+        let (a, b, c, _) = bracket(0.0, 1.0, &mut f, 200);
+        let fb = f(b);
+        assert!(fb <= f(a) && fb <= f(c), "bracket ({a}, {b}, {c}) invalid");
+    }
+
+    #[test]
+    fn bracket_respects_eval_cap() {
+        let mut count = 0usize;
+        let mut f = |t: f64| {
+            count += 1;
+            -t // monotonically decreasing: never brackets
+        };
+        let _ = bracket(0.0, 1.0, &mut f, 50);
+        assert!(count <= 60, "used {count} evaluations");
+    }
+}

@@ -1,0 +1,232 @@
+//! Differential Evolution (Storn 1999), the second backend of Table 1.
+//!
+//! A population-based global strategy using the classic `rand/1/bin`
+//! mutation and binomial crossover. Population members are initialized by
+//! the same wide-range sampling as every other backend so that very small
+//! and very large magnitudes are represented.
+
+use crate::evaluator::Evaluator;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{GlobalMinimizer, Problem};
+use rand::Rng;
+
+/// Configuration of the Differential Evolution backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialEvolution {
+    /// Population size; if zero, `15 * dim` capped to `[20, 90]` is used.
+    pub population: usize,
+    /// Differential weight F in `[0, 2]`.
+    pub weight: f64,
+    /// Crossover probability CR in `[0, 1]`.
+    pub crossover: f64,
+    /// Maximum number of generations.
+    pub max_generations: usize,
+    /// Convergence tolerance on the spread of population values.
+    pub f_tol: f64,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution {
+            population: 0,
+            weight: 0.8,
+            crossover: 0.9,
+            max_generations: 300,
+            f_tol: 1.0e-12,
+        }
+    }
+}
+
+impl DifferentialEvolution {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the population size explicitly.
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Sets the maximum number of generations.
+    pub fn with_max_generations(mut self, generations: usize) -> Self {
+        self.max_generations = generations;
+        self
+    }
+
+    fn effective_population(&self, dim: usize) -> usize {
+        if self.population > 0 {
+            self.population.max(4)
+        } else {
+            (15 * dim).clamp(20, 90)
+        }
+    }
+}
+
+impl GlobalMinimizer for DifferentialEvolution {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let dim = problem.objective.dim();
+        let np = self.effective_population(dim);
+        let mut rng = crate::rng_from_seed(seed);
+        let mut ev = Evaluator::new(problem, sink);
+
+        // Initial population.
+        let mut pop: Vec<Vec<f64>> = (0..np).map(|_| problem.bounds.sample(&mut rng)).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(np);
+        for member in &pop {
+            values.push(ev.eval(member));
+            if ev.should_stop() {
+                break;
+            }
+        }
+        while values.len() < np {
+            values.push(f64::INFINITY);
+        }
+
+        let mut termination = Termination::IterationsCompleted;
+        'outer: for _gen in 0..self.max_generations {
+            if ev.should_stop() {
+                termination = if ev.target_hit() {
+                    Termination::TargetReached
+                } else {
+                    Termination::BudgetExhausted
+                };
+                break;
+            }
+            for i in 0..np {
+                // Pick three distinct members different from i.
+                let mut pick = || loop {
+                    let k = rng.gen_range(0..np);
+                    if k != i {
+                        return k;
+                    }
+                };
+                let (a, b, c) = (pick(), pick(), pick());
+                let j_rand = rng.gen_range(0..dim);
+                let mut trial = pop[i].clone();
+                for j in 0..dim {
+                    if rng.gen::<f64>() < self.crossover || j == j_rand {
+                        trial[j] = pop[a][j] + self.weight * (pop[b][j] - pop[c][j]);
+                        if !trial[j].is_finite() {
+                            let (lo, hi) = problem.bounds.limit(j);
+                            trial[j] = trial[j].clamp(lo, hi);
+                        }
+                    }
+                }
+                let trial_value = ev.eval(&trial);
+                if crate::better(trial_value, values[i]) || trial_value == values[i] {
+                    pop[i] = problem.bounds.clamped(&trial);
+                    values[i] = trial_value;
+                }
+                if ev.should_stop() {
+                    termination = if ev.target_hit() {
+                        Termination::TargetReached
+                    } else {
+                        Termination::BudgetExhausted
+                    };
+                    break 'outer;
+                }
+            }
+            // Convergence: population values nearly equal.
+            let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.len() == np {
+                let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if (max - min).abs() <= self.f_tol * (1.0 + min.abs()) {
+                    termination = Termination::Converged;
+                    break;
+                }
+            }
+        }
+
+        let (x, value) = ev.best();
+        if ev.target_hit() {
+            termination = Termination::TargetReached;
+        }
+        MinimizeResult::new(x, value, ev.evals(), termination)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "DifferentialEvolution"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rastrigin, sphere};
+    use crate::{Bounds, FnObjective, NoTrace};
+
+    #[test]
+    fn minimizes_sphere() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0))
+            .with_target(1e-10)
+            .with_max_evals(100_000);
+        let r = DifferentialEvolution::default().minimize(&p, 21, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+
+    #[test]
+    fn minimizes_rastrigin() {
+        let f = FnObjective::new(2, rastrigin);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.12))
+            .with_target(1e-8)
+            .with_max_evals(200_000);
+        let r = DifferentialEvolution::default()
+            .with_max_generations(600)
+            .minimize(&p, 17, &mut NoTrace);
+        assert!(r.value < 1e-2, "value = {}", r.value);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.0)).with_max_evals(3_000);
+        let de = DifferentialEvolution::default().with_max_generations(20);
+        let r1 = de.minimize(&p, 5, &mut NoTrace);
+        let r2 = de.minimize(&p, 5, &mut NoTrace);
+        assert_eq!(r1.value, r2.value);
+        assert_eq!(r1.x, r2.x);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let f = FnObjective::new(3, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(3, 5.0)).with_max_evals(200);
+        let r = DifferentialEvolution::default().minimize(&p, 1, &mut NoTrace);
+        assert!(r.evals <= 200);
+        assert_eq!(r.termination, Termination::BudgetExhausted);
+    }
+
+    #[test]
+    fn population_sizing_rule() {
+        let de = DifferentialEvolution::default();
+        assert_eq!(de.effective_population(1), 20);
+        assert_eq!(de.effective_population(3), 45);
+        assert_eq!(de.effective_population(100), 90);
+        assert_eq!(
+            DifferentialEvolution::default()
+                .with_population(2)
+                .effective_population(1),
+            4
+        );
+    }
+
+    #[test]
+    fn stops_at_target() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 1.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0))
+            .with_target(1e-3)
+            .with_max_evals(50_000);
+        let r = DifferentialEvolution::default().minimize(&p, 9, &mut NoTrace);
+        assert_eq!(r.termination, Termination::TargetReached);
+    }
+}

@@ -1,0 +1,127 @@
+//! Internal bookkeeping shared by all backends: evaluation counting, best
+//! tracking, sample recording and target/budget stopping.
+
+use crate::sampling::SampleSink;
+use crate::{better, Problem};
+
+/// Tracks evaluations for one backend run.
+pub(crate) struct Evaluator<'a, 'b> {
+    problem: &'a Problem<'a>,
+    sink: &'b mut dyn SampleSink,
+    evals: usize,
+    max_evals: usize,
+    best_x: Vec<f64>,
+    best_value: f64,
+    target_hit: bool,
+}
+
+impl<'a, 'b> Evaluator<'a, 'b> {
+    pub(crate) fn new(problem: &'a Problem<'a>, sink: &'b mut dyn SampleSink) -> Self {
+        Evaluator {
+            problem,
+            sink,
+            evals: 0,
+            max_evals: problem.max_evals,
+            best_x: vec![f64::NAN; problem.objective.dim()],
+            best_value: f64::INFINITY,
+            target_hit: false,
+        }
+    }
+
+    /// Evaluates the objective at `x` (clamped into the bounds), records the
+    /// sample and updates the incumbent.
+    pub(crate) fn eval(&mut self, x: &[f64]) -> f64 {
+        let clamped = self.problem.bounds.clamped(x);
+        let value = self.problem.objective.eval(&clamped);
+        self.sink.record(self.evals as u64, &clamped, value);
+        self.evals += 1;
+        if better(value, self.best_value) || self.best_x[0].is_nan() {
+            self.best_value = value;
+            self.best_x = clamped;
+        }
+        if self.problem.target_reached(value) {
+            self.target_hit = true;
+        }
+        value
+    }
+
+    /// Number of evaluations so far.
+    pub(crate) fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Whether the run must stop (target reached or budget exhausted).
+    pub(crate) fn should_stop(&self) -> bool {
+        self.target_hit || self.evals >= self.max_evals
+    }
+
+    /// Whether the target value has been reached.
+    pub(crate) fn target_hit(&self) -> bool {
+        self.target_hit
+    }
+
+    /// Whether the evaluation budget is exhausted.
+    pub(crate) fn budget_exhausted(&self) -> bool {
+        self.evals >= self.max_evals
+    }
+
+    /// Remaining evaluations before the budget is exhausted.
+    pub(crate) fn remaining(&self) -> usize {
+        self.max_evals.saturating_sub(self.evals)
+    }
+
+    /// Best point seen so far.
+    pub(crate) fn best(&self) -> (Vec<f64>, f64) {
+        (self.best_x.clone(), self.best_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bounds, FnObjective, NoTrace, SamplingTrace};
+
+    #[test]
+    fn evaluator_tracks_best_and_counts() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_target(0.0);
+        let mut trace = SamplingTrace::new();
+        let mut ev = Evaluator::new(&p, &mut trace);
+        assert_eq!(ev.eval(&[0.0]), 2.0);
+        assert_eq!(ev.eval(&[3.0]), 1.0);
+        assert!(!ev.should_stop());
+        assert_eq!(ev.eval(&[2.0]), 0.0);
+        assert!(ev.target_hit());
+        assert!(ev.should_stop());
+        let (x, v) = ev.best();
+        assert_eq!(x, vec![2.0]);
+        assert_eq!(v, 0.0);
+        assert_eq!(ev.evals(), 3);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn evaluator_clamps_out_of_bounds_points() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0));
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        // 100 is clamped to 1 before evaluation.
+        assert_eq!(ev.eval(&[100.0]), 1.0);
+    }
+
+    #[test]
+    fn evaluator_budget() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0)).with_max_evals(2);
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        ev.eval(&[0.0]);
+        assert!(!ev.budget_exhausted());
+        assert_eq!(ev.remaining(), 1);
+        ev.eval(&[0.0]);
+        assert!(ev.budget_exhausted());
+        assert!(ev.should_stop());
+        assert_eq!(ev.remaining(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-start local search: repeated local minimization from independent
+//! random starting points.
+//!
+//! This is the "local MO applied over a set of starting points SP" view the
+//! paper uses to describe global optimization (Section 4.1). It is also the
+//! driver shape of Algorithm 3, which launches the backend from a fresh
+//! random starting point in every round.
+
+use crate::nelder_mead::NelderMead;
+use crate::powell::Powell;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{better, GlobalMinimizer, LocalMinimizer, Problem};
+
+/// Which local search multi-start repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartLocal {
+    /// Nelder–Mead simplex.
+    NelderMead,
+    /// Powell's method.
+    Powell,
+}
+
+/// Configuration of the multi-start backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStart {
+    /// Number of independent starting points.
+    pub n_starts: usize,
+    /// Evaluation budget of each local search.
+    pub local_max_evals: usize,
+    /// The local search to repeat.
+    pub local: StartLocal,
+}
+
+impl Default for MultiStart {
+    fn default() -> Self {
+        MultiStart {
+            n_starts: 40,
+            local_max_evals: 2_000,
+            local: StartLocal::NelderMead,
+        }
+    }
+}
+
+impl MultiStart {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of starting points.
+    pub fn with_starts(mut self, n: usize) -> Self {
+        self.n_starts = n;
+        self
+    }
+
+    /// Sets the local search.
+    pub fn with_local(mut self, local: StartLocal) -> Self {
+        self.local = local;
+        self
+    }
+}
+
+impl GlobalMinimizer for MultiStart {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let mut rng = crate::rng_from_seed(seed);
+        let mut best: Option<MinimizeResult> = None;
+        let mut total_evals = 0usize;
+        let mut termination = Termination::IterationsCompleted;
+
+        for _ in 0..self.n_starts {
+            if total_evals >= problem.max_evals {
+                termination = Termination::BudgetExhausted;
+                break;
+            }
+            let x0 = problem.bounds.sample(&mut rng);
+            let budget = self
+                .local_max_evals
+                .min(problem.max_evals.saturating_sub(total_evals));
+            let r = match self.local {
+                StartLocal::NelderMead => {
+                    NelderMead::default().minimize_from(problem, &x0, budget, sink)
+                }
+                StartLocal::Powell => Powell::default().minimize_from(problem, &x0, budget, sink),
+            };
+            total_evals += r.evals;
+            let is_better = best
+                .as_ref()
+                .map(|b| better(r.value, b.value))
+                .unwrap_or(true);
+            if is_better {
+                best = Some(r);
+            }
+            if let Some(b) = &best {
+                if problem.target_reached(b.value) {
+                    termination = Termination::TargetReached;
+                    break;
+                }
+            }
+        }
+
+        let mut result = best.unwrap_or_else(|| {
+            MinimizeResult::new(
+                vec![f64::NAN; problem.objective.dim()],
+                f64::INFINITY,
+                0,
+                Termination::IterationsCompleted,
+            )
+        });
+        result.evals = total_evals;
+        result.termination = termination;
+        result
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "MultiStart"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::rastrigin;
+    use crate::{Bounds, FnObjective, NoTrace};
+
+    #[test]
+    fn escapes_local_minima_of_rastrigin() {
+        let f = FnObjective::new(2, rastrigin);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.12))
+            .with_target(1e-6)
+            .with_max_evals(400_000);
+        let r = MultiStart::default().with_starts(100).minimize(&p, 13, &mut NoTrace);
+        assert!(r.value < 0.1, "value = {}", r.value);
+    }
+
+    #[test]
+    fn approaches_zero_of_product_weak_distance() {
+        // Multi-start has no ULP polish, so it gets close to (but not
+        // necessarily exactly on) the zero; exact zeros are the job of the
+        // basin-hopping backend or the analysis driver.
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.0).abs() * (x[0] + 1.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0e4)).with_target(0.0);
+        let r = MultiStart::default().minimize(&p, 7, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+
+    #[test]
+    fn powell_variant_works() {
+        let f = FnObjective::new(2, |x: &[f64]| (x[0] - 1.0).abs() + (x[1] - 2.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(2, 100.0))
+            .with_target(1e-8)
+            .with_max_evals(100_000);
+        let r = MultiStart::default()
+            .with_local(StartLocal::Powell)
+            .minimize(&p, 3, &mut NoTrace);
+        assert!(r.value < 1e-4, "value = {}", r.value);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let f = FnObjective::new(2, rastrigin);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.0)).with_max_evals(1_000);
+        let r = MultiStart::default().minimize(&p, 2, &mut NoTrace);
+        assert!(r.evals <= 1_200, "evals = {}", r.evals);
+    }
+}

@@ -1,0 +1,295 @@
+//! The Nelder–Mead downhill-simplex method.
+//!
+//! A derivative-free local search well suited to the piecewise-smooth,
+//! possibly discontinuous weak distances produced by the reduction. It is
+//! the default local step inside [`BasinHopping`](crate::BasinHopping).
+
+use crate::evaluator::Evaluator;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{GlobalMinimizer, LocalMinimizer, Problem};
+
+/// Configuration of the Nelder–Mead simplex search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    /// Reflection coefficient (standard value 1).
+    pub alpha: f64,
+    /// Expansion coefficient (standard value 2).
+    pub gamma: f64,
+    /// Contraction coefficient (standard value 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard value 0.5).
+    pub sigma: f64,
+    /// Relative size of the initial simplex around the starting point.
+    pub initial_scale: f64,
+    /// Convergence tolerance on the spread of function values.
+    pub f_tol: f64,
+    /// Maximum number of iterations (reflection steps).
+    pub max_iters: usize,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            initial_scale: 0.1,
+            f_tol: 1.0e-12,
+            max_iters: 2_000,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of iterations.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Builds the initial simplex around `x0`.
+    ///
+    /// The i-th extra vertex displaces coordinate i by `initial_scale`
+    /// relatively (or absolutely when the coordinate is zero), matching the
+    /// usual practice for functions whose coordinates span many orders of
+    /// magnitude.
+    fn initial_simplex(&self, x0: &[f64]) -> Vec<Vec<f64>> {
+        let n = x0.len();
+        let mut simplex = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            if v[i] == 0.0 {
+                v[i] = self.initial_scale.max(1.0e-4);
+            } else {
+                v[i] *= 1.0 + self.initial_scale;
+                if v[i] == x0[i] {
+                    v[i] = x0[i] + self.initial_scale;
+                }
+            }
+            simplex.push(v);
+        }
+        simplex
+    }
+
+    fn run(&self, ev: &mut Evaluator<'_, '_>, x0: &[f64]) -> (Vec<f64>, f64) {
+        let n = x0.len();
+        let mut simplex = self.initial_simplex(x0);
+        let mut values: Vec<f64> = simplex.iter().map(|v| ev.eval(v)).collect();
+
+        for _ in 0..self.max_iters {
+            if ev.should_stop() {
+                break;
+            }
+            // Order the simplex by value (NaN last).
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .unwrap_or(std::cmp::Ordering::Greater)
+            });
+            let reordered: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+            let reordered_vals: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+            simplex = reordered;
+            values = reordered_vals;
+
+            let spread = (values[n] - values[0]).abs();
+            if spread.is_finite() && spread <= self.f_tol {
+                break;
+            }
+
+            // Centroid of all points but the worst.
+            let mut centroid = vec![0.0; n];
+            for v in simplex.iter().take(n) {
+                for (c, vi) in centroid.iter_mut().zip(v) {
+                    *c += vi / n as f64;
+                }
+            }
+
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(c, w)| c + self.alpha * (c - w))
+                .collect();
+            let f_reflect = ev.eval(&reflect);
+
+            if f_reflect < values[0] {
+                // Try expansion.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst)
+                    .map(|(c, w)| c + self.gamma * self.alpha * (c - w))
+                    .collect();
+                let f_expand = ev.eval(&expand);
+                if f_expand < f_reflect {
+                    simplex[n] = expand;
+                    values[n] = f_expand;
+                } else {
+                    simplex[n] = reflect;
+                    values[n] = f_reflect;
+                }
+            } else if f_reflect < values[n - 1] {
+                simplex[n] = reflect;
+                values[n] = f_reflect;
+            } else {
+                // Contraction (outside if the reflected point improved on the
+                // worst vertex, inside otherwise).
+                let towards = if f_reflect < values[n] { &reflect } else { &worst };
+                let f_towards = if f_reflect < values[n] { f_reflect } else { values[n] };
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(towards)
+                    .map(|(c, t)| c + self.rho * (t - c))
+                    .collect();
+                let f_contract = ev.eval(&contract);
+                if f_contract < f_towards {
+                    simplex[n] = contract;
+                    values[n] = f_contract;
+                } else {
+                    // Shrink towards the best vertex.
+                    let best = simplex[0].clone();
+                    for i in 1..=n {
+                        let shrunk: Vec<f64> = best
+                            .iter()
+                            .zip(&simplex[i])
+                            .map(|(b, s)| b + self.sigma * (s - b))
+                            .collect();
+                        values[i] = ev.eval(&shrunk);
+                        simplex[i] = shrunk;
+                        if ev.should_stop() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ev.best()
+    }
+}
+
+impl LocalMinimizer for NelderMead {
+    fn minimize_from(
+        &self,
+        problem: &Problem<'_>,
+        x0: &[f64],
+        max_evals: usize,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        // Respect both the problem budget and the per-call budget.
+        let capped = Problem {
+            objective: problem.objective,
+            bounds: problem.bounds.clone(),
+            target: problem.target,
+            max_evals: max_evals.min(problem.max_evals),
+        };
+        let mut ev = Evaluator::new(&capped, sink);
+        let (x, value) = self.run(&mut ev, x0);
+        let termination = if ev.target_hit() {
+            Termination::TargetReached
+        } else if ev.budget_exhausted() {
+            Termination::BudgetExhausted
+        } else {
+            Termination::Converged
+        };
+        MinimizeResult::new(x, value, ev.evals(), termination)
+    }
+}
+
+impl GlobalMinimizer for NelderMead {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        _seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let x0: Vec<f64> = problem
+            .bounds
+            .limits()
+            .iter()
+            .map(|&(lo, hi)| lo / 2.0 + hi / 2.0)
+            .collect();
+        self.minimize_from(problem, &x0, problem.max_evals, sink)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "NelderMead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rosenbrock, sphere};
+    use crate::{Bounds, FnObjective, NoTrace};
+
+    #[test]
+    fn minimizes_sphere() {
+        let f = FnObjective::new(3, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(3, 10.0));
+        let r = NelderMead::default().minimize_from(&p, &[4.0, -3.0, 2.0], 20_000, &mut NoTrace);
+        assert!(r.value < 1e-8, "value = {}", r.value);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let f = FnObjective::new(2, rosenbrock);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0)).with_max_evals(100_000);
+        let r = NelderMead::default()
+            .with_max_iters(20_000)
+            .minimize_from(&p, &[-1.2, 1.0], 100_000, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+        assert!((r.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn minimizes_nonsmooth_absolute_value() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.5).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 100.0)).with_target(1e-10);
+        let r = NelderMead::default().minimize_from(&p, &[90.0], 10_000, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+
+    #[test]
+    fn stops_at_target() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_target(0.5);
+        let r = NelderMead::default().minimize_from(&p, &[3.0], 10_000, &mut NoTrace);
+        assert_eq!(r.termination, Termination::TargetReached);
+        assert!(r.value <= 0.5);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0));
+        let r = NelderMead::default().minimize_from(&p, &[5.0, 5.0], 30, &mut NoTrace);
+        assert!(r.evals <= 30);
+    }
+
+    #[test]
+    fn global_interface_runs_from_midpoint() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::new(vec![(-2.0, 6.0), (-6.0, 2.0)]));
+        let r = NelderMead::default().minimize(&p, 0, &mut NoTrace);
+        assert!(r.value < 1e-6);
+        assert_eq!(NelderMead::default().backend_name(), "NelderMead");
+    }
+
+    #[test]
+    fn initial_simplex_handles_zero_coordinates() {
+        let nm = NelderMead::default();
+        let s = nm.initial_simplex(&[0.0, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert_ne!(s[1][0], 0.0);
+        assert_ne!(s[2][1], 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Powell's conjugate-direction method.
+//!
+//! The third backend evaluated in Table 1 of the paper: a local,
+//! derivative-free search that repeatedly performs one-dimensional
+//! minimizations (here via [`brent`](crate::brent)) along an evolving set of
+//! directions (Powell 1964).
+
+use crate::brent::line_minimize;
+use crate::evaluator::Evaluator;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{GlobalMinimizer, LocalMinimizer, Problem};
+
+/// Configuration of Powell's method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Powell {
+    /// Convergence tolerance on the relative decrease per outer iteration.
+    pub f_tol: f64,
+    /// Tolerance of each Brent line search.
+    pub line_tol: f64,
+    /// Maximum number of outer iterations.
+    pub max_iters: usize,
+    /// Evaluation budget of each line search.
+    pub line_max_evals: usize,
+    /// Initial step used to scale the search directions.
+    pub initial_step: f64,
+}
+
+impl Default for Powell {
+    fn default() -> Self {
+        Powell {
+            f_tol: 1.0e-12,
+            line_tol: 1.0e-10,
+            max_iters: 200,
+            line_max_evals: 300,
+            initial_step: 1.0,
+        }
+    }
+}
+
+impl Powell {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of outer iterations.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    fn line_search(
+        &self,
+        ev: &mut Evaluator<'_, '_>,
+        x: &[f64],
+        dir: &[f64],
+    ) -> (Vec<f64>, f64) {
+        let n = x.len();
+        let budget = self.line_max_evals.min(ev.remaining());
+        if budget < 4 {
+            let fx = ev.eval(x);
+            return (x.to_vec(), fx);
+        }
+        let mut f = |t: f64| {
+            let pt: Vec<f64> = (0..n).map(|i| x[i] + t * dir[i]).collect();
+            ev.eval(&pt)
+        };
+        let m = line_minimize(0.0, self.initial_step, &mut f, self.line_tol, budget);
+        let best: Vec<f64> = (0..n).map(|i| x[i] + m.t * dir[i]).collect();
+        (best, m.value)
+    }
+
+    fn run(&self, ev: &mut Evaluator<'_, '_>, x0: &[f64]) -> (Vec<f64>, f64) {
+        let n = x0.len();
+        // Initial directions: the coordinate axes, scaled to the magnitude of
+        // the starting point so that huge-magnitude coordinates can move.
+        let mut dirs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut d = vec![0.0; n];
+                d[i] = if x0[i].abs() > 1.0 { x0[i].abs() * 0.1 } else { 1.0 };
+                d
+            })
+            .collect();
+        let mut x = x0.to_vec();
+        let mut fx = ev.eval(&x);
+
+        for _ in 0..self.max_iters {
+            if ev.should_stop() {
+                break;
+            }
+            let f_start = fx;
+            let x_start = x.clone();
+            let mut biggest_drop = 0.0;
+            let mut biggest_dir = 0;
+            for (i, dir) in dirs.iter().enumerate() {
+                let f_before = fx;
+                let (nx, nf) = self.line_search(ev, &x, dir);
+                if nf < fx {
+                    x = nx;
+                    fx = nf;
+                }
+                let drop = f_before - fx;
+                if drop > biggest_drop {
+                    biggest_drop = drop;
+                    biggest_dir = i;
+                }
+                if ev.should_stop() {
+                    break;
+                }
+            }
+            if ev.should_stop() {
+                break;
+            }
+            let decrease = f_start - fx;
+            if !decrease.is_finite() || decrease.abs() <= self.f_tol * (f_start.abs() + self.f_tol)
+            {
+                break;
+            }
+            // Powell's update: replace the direction of largest decrease with
+            // the overall displacement of this iteration.
+            let displacement: Vec<f64> = x.iter().zip(&x_start).map(|(a, b)| a - b).collect();
+            if displacement.iter().any(|d| *d != 0.0) {
+                let (nx, nf) = self.line_search(ev, &x, &displacement);
+                if nf < fx {
+                    x = nx;
+                    fx = nf;
+                }
+                dirs.remove(biggest_dir);
+                dirs.push(displacement);
+            }
+        }
+        let (bx, bv) = ev.best();
+        if bv < fx {
+            (bx, bv)
+        } else {
+            (x, fx)
+        }
+    }
+}
+
+impl LocalMinimizer for Powell {
+    fn minimize_from(
+        &self,
+        problem: &Problem<'_>,
+        x0: &[f64],
+        max_evals: usize,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let capped = Problem {
+            objective: problem.objective,
+            bounds: problem.bounds.clone(),
+            target: problem.target,
+            max_evals: max_evals.min(problem.max_evals),
+        };
+        let mut ev = Evaluator::new(&capped, sink);
+        let (x, value) = self.run(&mut ev, x0);
+        let termination = if ev.target_hit() {
+            Termination::TargetReached
+        } else if ev.budget_exhausted() {
+            Termination::BudgetExhausted
+        } else {
+            Termination::Converged
+        };
+        MinimizeResult::new(x, value, ev.evals(), termination)
+    }
+}
+
+impl GlobalMinimizer for Powell {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        // Powell is a local method; as a "global" backend it starts from a
+        // random point in the bounds (this mirrors how the paper applies the
+        // SciPy Powell backend directly to the weak distance).
+        let mut rng = crate::rng_from_seed(seed);
+        let x0 = problem.bounds.sample(&mut rng);
+        self.minimize_from(problem, &x0, problem.max_evals, sink)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "Powell"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rosenbrock, sphere};
+    use crate::{Bounds, FnObjective, NoTrace};
+
+    #[test]
+    fn minimizes_sphere() {
+        let f = FnObjective::new(4, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(4, 10.0));
+        let r = Powell::default().minimize_from(&p, &[3.0, -2.0, 1.0, 5.0], 50_000, &mut NoTrace);
+        assert!(r.value < 1e-8, "value = {}", r.value);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let f = FnObjective::new(2, rosenbrock);
+        let p = Problem::new(&f, Bounds::symmetric(2, 5.0)).with_max_evals(200_000);
+        let r = Powell::default()
+            .with_max_iters(500)
+            .minimize_from(&p, &[-1.2, 1.0], 200_000, &mut NoTrace);
+        assert!(r.value < 1e-5, "value = {}", r.value);
+    }
+
+    #[test]
+    fn minimizes_kinked_objective() {
+        // |x-1| + |y+2| has its minimum at a kink; Powell should still get close.
+        let f = FnObjective::new(2, |x: &[f64]| (x[0] - 1.0).abs() + (x[1] + 2.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(2, 50.0)).with_target(1e-9);
+        let r = Powell::default().minimize_from(&p, &[20.0, -30.0], 50_000, &mut NoTrace);
+        assert!(r.value < 1e-4, "value = {}", r.value);
+    }
+
+    #[test]
+    fn stops_on_target() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 4.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 100.0)).with_target(0.0);
+        let r = Powell::default().minimize_from(&p, &[50.0], 20_000, &mut NoTrace);
+        assert!(r.value <= 1e-9);
+    }
+
+    #[test]
+    fn global_interface_uses_random_start() {
+        let f = FnObjective::new(2, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(2, 10.0)).with_max_evals(20_000);
+        let r = Powell::default().minimize(&p, 7, &mut NoTrace);
+        assert!(r.value < 1e-6, "value = {}", r.value);
+        assert_eq!(Powell::default().backend_name(), "Powell");
+    }
+
+    #[test]
+    fn respects_budget() {
+        // The budget is soft: a line search in flight may overshoot by a few
+        // evaluations, but the overall count stays close to the cap.
+        let f = FnObjective::new(3, sphere);
+        let p = Problem::new(&f, Bounds::symmetric(3, 10.0)).with_max_evals(100);
+        let r = Powell::default().minimize_from(&p, &[1.0, 1.0, 1.0], 100, &mut NoTrace);
+        assert!(r.evals <= 160, "evals = {}", r.evals);
+    }
+}

@@ -1,0 +1,108 @@
+//! Pure random search.
+//!
+//! The degenerate baseline the paper mentions when discussing the
+//! characteristic-function weak distance (Fig. 7): when the weak distance
+//! carries no gradient information, minimizing it "degenerates into pure
+//! random testing". Having the baseline available lets the ablation bench
+//! quantify exactly that degeneration.
+
+use crate::evaluator::Evaluator;
+use crate::result::{MinimizeResult, Termination};
+use crate::sampling::SampleSink;
+use crate::{GlobalMinimizer, Problem};
+
+/// Uniform random sampling over the bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RandomSearch {
+    /// Maximum number of samples; 0 means "use the problem budget".
+    pub max_samples: usize,
+}
+
+impl RandomSearch {
+    /// Creates a random search limited only by the problem budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits the number of samples.
+    pub fn with_max_samples(mut self, n: usize) -> Self {
+        self.max_samples = n;
+        self
+    }
+}
+
+impl GlobalMinimizer for RandomSearch {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        let mut rng = crate::rng_from_seed(seed);
+        let mut ev = Evaluator::new(problem, sink);
+        let limit = if self.max_samples == 0 {
+            problem.max_evals
+        } else {
+            self.max_samples.min(problem.max_evals)
+        };
+        let mut termination = Termination::IterationsCompleted;
+        for _ in 0..limit {
+            let x = problem.bounds.sample(&mut rng);
+            ev.eval(&x);
+            if ev.should_stop() {
+                termination = if ev.target_hit() {
+                    Termination::TargetReached
+                } else {
+                    Termination::BudgetExhausted
+                };
+                break;
+            }
+        }
+        let (x, value) = ev.best();
+        MinimizeResult::new(x, value, ev.evals(), termination)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "RandomSearch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bounds, FnObjective, NoTrace, SamplingTrace};
+
+    #[test]
+    fn finds_easy_target() {
+        // Half of the domain is a solution; random search should hit it fast.
+        let f = FnObjective::new(1, |x: &[f64]| if x[0] > 0.0 { 0.0 } else { 1.0 });
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_target(0.0);
+        let r = RandomSearch::new().minimize(&p, 1, &mut NoTrace);
+        assert_eq!(r.termination, Termination::TargetReached);
+        assert!(r.evals < 100);
+    }
+
+    #[test]
+    fn struggles_with_needle_target() {
+        // A single-point solution set: random search essentially never finds it,
+        // which is exactly the Fig. 7 degeneration.
+        let f = FnObjective::new(1, |x: &[f64]| if x[0] == 3.25 { 0.0 } else { 1.0 });
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0e6))
+            .with_target(0.0)
+            .with_max_evals(5_000);
+        let r = RandomSearch::new().minimize(&p, 2, &mut NoTrace);
+        assert_ne!(r.termination, Termination::TargetReached);
+        assert_eq!(r.value, 1.0);
+    }
+
+    #[test]
+    fn sample_cap_and_trace() {
+        let f = FnObjective::new(2, |x: &[f64]| x[0] + x[1]);
+        let p = Problem::new(&f, Bounds::symmetric(2, 1.0));
+        let mut trace = SamplingTrace::new();
+        let r = RandomSearch::new().with_max_samples(50).minimize(&p, 3, &mut trace);
+        assert_eq!(r.evals, 50);
+        assert_eq!(trace.len(), 50);
+        assert_eq!(RandomSearch::new().backend_name(), "RandomSearch");
+    }
+}

@@ -1,0 +1,172 @@
+//! Recording of the optimization sampling sequence.
+//!
+//! The paper's Figures 3(c), 4(c) and 9 plot the *sampling sequence* of the
+//! MO backend: the n-th sampled input against its index. Backends in this
+//! crate report every objective evaluation to a [`SampleSink`];
+//! [`SamplingTrace`] stores them (optionally subsampled) and [`NoTrace`]
+//! discards them.
+
+/// One recorded objective evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Index of the evaluation within the run (0-based).
+    pub index: u64,
+    /// The evaluated point.
+    pub x: Vec<f64>,
+    /// The objective value at `x`.
+    pub value: f64,
+}
+
+/// Receives every objective evaluation a backend performs.
+pub trait SampleSink {
+    /// Records one evaluation.
+    fn record(&mut self, index: u64, x: &[f64], value: f64);
+}
+
+/// A sink that discards every sample.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl SampleSink for NoTrace {
+    fn record(&mut self, _index: u64, _x: &[f64], _value: f64) {}
+}
+
+/// Stores the sampling sequence, keeping every `stride`-th sample to bound
+/// memory for long runs.
+///
+/// # Example
+///
+/// ```
+/// use wdm_mo::{Sample, SampleSink, SamplingTrace};
+/// let mut trace = SamplingTrace::with_stride(2);
+/// trace.record(0, &[1.0], 0.5);
+/// trace.record(1, &[2.0], 0.25);
+/// trace.record(2, &[3.0], 0.0);
+/// assert_eq!(trace.len(), 2); // indices 0 and 2
+/// assert_eq!(trace.samples()[1].x, vec![3.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SamplingTrace {
+    samples: Vec<Sample>,
+    stride: u64,
+    recorded_total: u64,
+}
+
+impl SamplingTrace {
+    /// Records every sample.
+    pub fn new() -> Self {
+        SamplingTrace {
+            samples: Vec::new(),
+            stride: 1,
+            recorded_total: 0,
+        }
+    }
+
+    /// Records every `stride`-th sample (stride 0 is treated as 1).
+    pub fn with_stride(stride: u64) -> Self {
+        SamplingTrace {
+            samples: Vec::new(),
+            stride: stride.max(1),
+            recorded_total: 0,
+        }
+    }
+
+    /// The retained samples, in evaluation order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of samples offered to the trace (before subsampling).
+    pub fn total_seen(&self) -> u64 {
+        self.recorded_total
+    }
+
+    /// The retained samples whose value is `<= threshold` (used to extract
+    /// the reported boundary values `BV = {x ∈ Raw | W(x) = 0}`).
+    pub fn below(&self, threshold: f64) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.value <= threshold).collect()
+    }
+
+    /// The best (smallest-value) retained sample, NaN-aware.
+    pub fn best(&self) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| !s.value.is_nan())
+            .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
+    }
+}
+
+impl SampleSink for SamplingTrace {
+    fn record(&mut self, index: u64, x: &[f64], value: f64) {
+        self.recorded_total += 1;
+        if index % self.stride == 0 {
+            self.samples.push(Sample {
+                index,
+                x: x.to_vec(),
+                value,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_all_with_default_stride() {
+        let mut t = SamplingTrace::new();
+        for i in 0..10u64 {
+            t.record(i, &[i as f64], (i as f64) / 10.0);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.total_seen(), 10);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn trace_subsamples_with_stride() {
+        let mut t = SamplingTrace::with_stride(3);
+        for i in 0..10u64 {
+            t.record(i, &[i as f64], 1.0);
+        }
+        assert_eq!(t.len(), 4); // 0, 3, 6, 9
+        assert_eq!(t.total_seen(), 10);
+    }
+
+    #[test]
+    fn below_and_best() {
+        let mut t = SamplingTrace::new();
+        t.record(0, &[1.0], 0.5);
+        t.record(1, &[2.0], 0.0);
+        t.record(2, &[3.0], f64::NAN);
+        t.record(3, &[4.0], 0.25);
+        assert_eq!(t.below(0.0).len(), 1);
+        assert_eq!(t.below(0.3).len(), 2);
+        assert_eq!(t.best().unwrap().x, vec![2.0]);
+    }
+
+    #[test]
+    fn no_trace_is_a_no_op() {
+        let mut t = NoTrace;
+        t.record(0, &[1.0], 1.0);
+    }
+
+    #[test]
+    fn zero_stride_treated_as_one() {
+        let mut t = SamplingTrace::with_stride(0);
+        t.record(0, &[1.0], 1.0);
+        t.record(1, &[1.0], 1.0);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! The [`Analyzable`] trait: the interface every program under analysis
+//! exposes to the weak-distance analyses.
+//!
+//! This is the "Client layer" contract of the paper's implementation
+//! architecture (Section 5.1): the client provides a program whose input
+//! domain is `F^N` together with the static lists of its floating-point
+//! operation sites and branch sites, and a way to execute it while reporting
+//! runtime events.
+
+use crate::event::{BranchSite, OpSite};
+use crate::interval::Interval;
+use crate::probe::Ctx;
+use crate::recorder::Observer;
+
+/// A floating-point program with input domain `F^N` that can be executed
+/// under observation.
+///
+/// Implementations exist for hand-instrumented Rust ports (`mini-gsl`) and
+/// for interpreted IR programs (`fpir`). Analyses never look at the program
+/// text; they only run it and observe events — exactly the black-box
+/// treatment the paper relies on.
+pub trait Analyzable {
+    /// A short human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Number of floating-point inputs `N`.
+    fn num_inputs(&self) -> usize;
+
+    /// Search box for each input, used to sample optimization starting
+    /// points. The default is the whole finite binary64 range.
+    fn search_domain(&self) -> Vec<Interval> {
+        vec![Interval::whole(); self.num_inputs()]
+    }
+
+    /// Static list of instrumented floating-point operation sites
+    /// (the set `L̄` of Algorithm 3).
+    fn op_sites(&self) -> Vec<OpSite>;
+
+    /// Static list of instrumented conditional-branch sites.
+    fn branch_sites(&self) -> Vec<BranchSite>;
+
+    /// Executes the program on `input`, reporting events through `ctx`, and
+    /// returns the program result if it produces one.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `input.len() != self.num_inputs()`.
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64>;
+
+    /// Convenience wrapper: executes the program with a fresh probe context
+    /// over `observer`.
+    fn run(&self, input: &[f64], observer: &mut dyn Observer) -> Option<f64> {
+        let mut ctx = Ctx::new(observer);
+        self.execute(input, &mut ctx)
+    }
+}
+
+impl<P: Analyzable + ?Sized> Analyzable for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        (**self).search_domain()
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        (**self).op_sites()
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        (**self).branch_sites()
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        (**self).execute(input, ctx)
+    }
+}
+
+/// An [`Analyzable`] built from a closure, convenient for small examples and
+/// tests.
+///
+/// # Example
+///
+/// ```
+/// use fp_runtime::{Analyzable, BranchSite, Cmp, ClosureProgram, Interval, NullObserver};
+///
+/// let prog = ClosureProgram::new("square-gate", 1, |x, ctx| {
+///     let y = x[0] * x[0];
+///     if ctx.branch(0, y, Cmp::Le, 4.0) {
+///         Some(y)
+///     } else {
+///         Some(0.0)
+///     }
+/// })
+/// .with_branch_sites(vec![BranchSite::new(0, Cmp::Le, "y <= 4")])
+/// .with_domain(vec![Interval::symmetric(10.0)]);
+///
+/// assert_eq!(prog.run(&[1.0], &mut NullObserver), Some(1.0));
+/// ```
+pub struct ClosureProgram<F> {
+    name: String,
+    num_inputs: usize,
+    domain: Vec<Interval>,
+    op_sites: Vec<OpSite>,
+    branch_sites: Vec<BranchSite>,
+    body: F,
+}
+
+impl<F> ClosureProgram<F>
+where
+    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64>,
+{
+    /// Creates a closure-backed program with the whole binary64 range as its
+    /// default search domain and no declared sites.
+    pub fn new(name: impl Into<String>, num_inputs: usize, body: F) -> Self {
+        ClosureProgram {
+            name: name.into(),
+            num_inputs,
+            domain: vec![Interval::whole(); num_inputs],
+            op_sites: Vec::new(),
+            branch_sites: Vec::new(),
+            body,
+        }
+    }
+
+    /// Sets the search domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of intervals differs from the number of inputs.
+    pub fn with_domain(mut self, domain: Vec<Interval>) -> Self {
+        assert_eq!(
+            domain.len(),
+            self.num_inputs,
+            "domain arity must match the number of inputs"
+        );
+        self.domain = domain;
+        self
+    }
+
+    /// Declares the operation sites the closure reports.
+    pub fn with_op_sites(mut self, sites: Vec<OpSite>) -> Self {
+        self.op_sites = sites;
+        self
+    }
+
+    /// Declares the branch sites the closure reports.
+    pub fn with_branch_sites(mut self, sites: Vec<BranchSite>) -> Self {
+        self.branch_sites = sites;
+        self
+    }
+}
+
+impl<F> Analyzable for ClosureProgram<F>
+where
+    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    fn search_domain(&self) -> Vec<Interval> {
+        self.domain.clone()
+    }
+
+    fn op_sites(&self) -> Vec<OpSite> {
+        self.op_sites.clone()
+    }
+
+    fn branch_sites(&self) -> Vec<BranchSite> {
+        self.branch_sites.clone()
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+        assert_eq!(
+            input.len(),
+            self.num_inputs,
+            "input arity mismatch for {}",
+            self.name
+        );
+        (self.body)(input, ctx)
+    }
+}
+
+impl<F> std::fmt::Debug for ClosureProgram<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosureProgram")
+            .field("name", &self.name)
+            .field("num_inputs", &self.num_inputs)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Cmp, FpOp};
+    use crate::recorder::{NullObserver, TraceRecorder};
+
+    fn toy() -> impl Analyzable {
+        ClosureProgram::new("toy", 1, |x, ctx| {
+            let y = ctx.op(0, FpOp::Mul, x[0] * x[0]);
+            let _ = ctx.branch(0, y, Cmp::Le, 4.0);
+            Some(y)
+        })
+        .with_op_sites(vec![OpSite::new(0, FpOp::Mul, "y = x*x")])
+        .with_branch_sites(vec![BranchSite::new(0, Cmp::Le, "y <= 4")])
+        .with_domain(vec![Interval::symmetric(100.0)])
+    }
+
+    #[test]
+    fn closure_program_reports_metadata() {
+        let p = toy();
+        assert_eq!(p.name(), "toy");
+        assert_eq!(p.num_inputs(), 1);
+        assert_eq!(p.search_domain().len(), 1);
+        assert_eq!(p.op_sites().len(), 1);
+        assert_eq!(p.branch_sites().len(), 1);
+    }
+
+    #[test]
+    fn closure_program_executes_and_emits_events() {
+        let p = toy();
+        let mut rec = TraceRecorder::new();
+        assert_eq!(p.run(&[3.0], &mut rec), Some(9.0));
+        assert_eq!(rec.ops().count(), 1);
+        assert_eq!(rec.branches().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let p = toy();
+        let _ = p.run(&[1.0, 2.0], &mut NullObserver);
+    }
+
+    #[test]
+    fn default_domain_is_whole_range() {
+        let p = ClosureProgram::new("free", 2, |_x, _ctx| Some(0.0));
+        let dom = p.search_domain();
+        assert_eq!(dom.len(), 2);
+        assert_eq!(dom[0].lo(), -f64::MAX);
+        assert_eq!(dom[1].hi(), f64::MAX);
+    }
+}

@@ -1,0 +1,65 @@
+//! Execution-event model and probe API shared by every analysis in the
+//! weak-distance-minimization workspace.
+//!
+//! The reduction theory of the paper ("Effective Floating-Point Analysis via
+//! Weak-Distance Minimization", PLDI 2019) only ever needs to observe two
+//! kinds of runtime facts about the program under analysis:
+//!
+//! * the value computed by each floating-point **operation** (needed by
+//!   overflow detection, Instance 3), and
+//! * the two operands and direction of each **branch** comparison (needed by
+//!   boundary value analysis, path reachability and branch-coverage testing,
+//!   Instances 1, 2 and 4).
+//!
+//! This crate defines those events ([`OpEvent`], [`BranchEvent`]), the
+//! [`Observer`] trait that receives them, the [`Analyzable`] trait implemented
+//! by every program that can be analysed (hand-instrumented Rust ports in
+//! `mini-gsl`, interpreted IR programs in `fpir`), and a small probe context
+//! ([`Ctx`]) that instrumented code uses to emit events.
+//!
+//! # Example
+//!
+//! ```
+//! use fp_runtime::{Analyzable, BranchSite, Cmp, Ctx, Interval, NullObserver, OpSite};
+//!
+//! /// `if (x <= 1) x++;` from Fig. 2 of the paper, hand instrumented.
+//! struct Half;
+//!
+//! impl Analyzable for Half {
+//!     fn name(&self) -> &str { "half" }
+//!     fn num_inputs(&self) -> usize { 1 }
+//!     fn search_domain(&self) -> Vec<Interval> { vec![Interval::new(-1.0e3, 1.0e3)] }
+//!     fn op_sites(&self) -> Vec<OpSite> { Vec::new() }
+//!     fn branch_sites(&self) -> Vec<BranchSite> {
+//!         vec![BranchSite::new(0, Cmp::Le, "x <= 1.0")]
+//!     }
+//!     fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
+//!         let mut x = input[0];
+//!         if ctx.branch(0, x, Cmp::Le, 1.0) {
+//!             x += 1.0;
+//!         }
+//!         Some(x)
+//!     }
+//! }
+//!
+//! let mut obs = NullObserver;
+//! let mut ctx = Ctx::new(&mut obs);
+//! assert_eq!(Half.execute(&[0.0], &mut ctx), Some(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzable;
+pub mod event;
+pub mod interval;
+pub mod probe;
+pub mod recorder;
+
+pub use analyzable::{Analyzable, ClosureProgram};
+pub use event::{BranchEvent, BranchId, BranchSite, Cmp, Event, FpOp, OpEvent, OpId, OpSite};
+pub use interval::Interval;
+pub use probe::{Ctx, ProbeControl};
+pub use recorder::{
+    BranchCoverage, CountingObserver, MultiObserver, NullObserver, Observer, TraceRecorder,
+};

@@ -1,0 +1,198 @@
+//! The XSat distance encoding: from a CNF formula to a weak distance.
+//!
+//! Each atom is mapped to a nonnegative value that is zero exactly when the
+//! atom holds; clause distances take the minimum over their atoms (a clause
+//! needs only one true atom) and the CNF distance sums the clause distances.
+//! Equality atoms can use either the real-valued `|a - b|` or the
+//! integer-valued ULP distance, the paper's Limitation 2 mitigation.
+
+use crate::ast::{Atom, Cnf, Rel};
+use fp_runtime::Interval;
+use wdm_core::weak_distance::WeakDistance;
+use wdm_mo::ulp::ulp_distance;
+
+/// How equality-like residuals are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceMetric {
+    /// Real-valued absolute difference.
+    #[default]
+    Absolute,
+    /// Number of representable doubles between the operands (XSat's ULP
+    /// metric), scaled into `f64`.
+    Ulp,
+}
+
+/// θ: the smallest positive penalty, used for strict comparisons and `!=`.
+const THETA: f64 = f64::MIN_POSITIVE;
+
+fn atom_distance(atom: &Atom, assignment: &[f64], metric: DistanceMetric) -> f64 {
+    let a = atom.lhs.eval(assignment);
+    let b = atom.rhs.eval(assignment);
+    if atom.rel.holds(a, b) {
+        return 0.0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return f64::MAX;
+    }
+    let eq_residual = match metric {
+        DistanceMetric::Absolute => (a - b).abs(),
+        DistanceMetric::Ulp => ulp_distance(a, b) as f64,
+    };
+    match atom.rel {
+        Rel::Eq => eq_residual,
+        Rel::Ne => THETA,
+        Rel::Lt | Rel::Le => match metric {
+            DistanceMetric::Absolute => (a - b).abs() + THETA,
+            DistanceMetric::Ulp => ulp_distance(a, b) as f64,
+        },
+        Rel::Gt | Rel::Ge => match metric {
+            DistanceMetric::Absolute => (b - a).abs() + THETA,
+            DistanceMetric::Ulp => ulp_distance(a, b) as f64,
+        },
+    }
+}
+
+/// The weak distance `R` of a CNF constraint: nonnegative, and zero exactly
+/// on the models of the constraint.
+#[derive(Debug, Clone)]
+pub struct CnfWeakDistance {
+    cnf: Cnf,
+    metric: DistanceMetric,
+    domain: Vec<Interval>,
+}
+
+impl CnfWeakDistance {
+    /// Builds the weak distance with the default (absolute) metric and a
+    /// whole-range search box.
+    pub fn new(cnf: Cnf) -> Self {
+        let n = cnf.num_vars();
+        CnfWeakDistance {
+            cnf,
+            metric: DistanceMetric::Absolute,
+            domain: vec![Interval::whole(); n],
+        }
+    }
+
+    /// Selects the residual metric.
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Restricts the search box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the formula.
+    pub fn with_domain(mut self, domain: Vec<Interval>) -> Self {
+        assert_eq!(domain.len(), self.cnf.num_vars(), "domain arity mismatch");
+        self.domain = domain;
+        self
+    }
+
+    /// The underlying formula.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+}
+
+impl WeakDistance for CnfWeakDistance {
+    fn dim(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    fn domain(&self) -> Vec<Interval> {
+        self.domain.clone()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for clause in &self.cnf.clauses {
+            let d = clause
+                .atoms
+                .iter()
+                .map(|a| atom_distance(a, x, self.metric))
+                .fold(f64::MAX, f64::min);
+            total += d;
+            if !total.is_finite() {
+                return f64::MAX;
+            }
+        }
+        total
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "R distance of a CNF with {} clauses over {} variables ({:?})",
+            self.cnf.clauses.len(),
+            self.cnf.num_vars(),
+            self.metric
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Clause, Expr};
+
+    fn simple_cnf() -> Cnf {
+        // (x0 >= 2 ∨ x0 <= -2) ∧ (x1 == 3)
+        Cnf::new(2)
+            .and(
+                Clause::from(Atom::ge(Expr::var(0), Expr::constant(2.0)))
+                    .or(Atom::le(Expr::var(0), Expr::constant(-2.0))),
+            )
+            .and(Clause::from(Atom::eq(Expr::var(1), Expr::constant(3.0))))
+    }
+
+    #[test]
+    fn zero_exactly_on_models() {
+        let wd = CnfWeakDistance::new(simple_cnf());
+        assert_eq!(wd.eval(&[2.0, 3.0]), 0.0);
+        assert_eq!(wd.eval(&[-5.0, 3.0]), 0.0);
+        assert!(wd.eval(&[0.0, 3.0]) > 0.0);
+        assert!(wd.eval(&[2.0, 2.9]) > 0.0);
+        assert_eq!(wd.dim(), 2);
+    }
+
+    #[test]
+    fn clause_distance_is_min_over_atoms() {
+        let wd = CnfWeakDistance::new(simple_cnf());
+        // x0 = 1: distance to >= 2 is 1+θ, to <= -2 is 3+θ; min ≈ 1.
+        let v = wd.eval(&[1.0, 3.0]);
+        assert!((v - 1.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn nan_operands_give_a_large_distance() {
+        let cnf = Cnf::new(1).and(Clause::from(Atom::eq(
+            Expr::var(0).sqrt(),
+            Expr::constant(2.0),
+        )));
+        let wd = CnfWeakDistance::new(cnf);
+        assert_eq!(wd.eval(&[-1.0]), f64::MAX);
+        assert_eq!(wd.eval(&[4.0]), 0.0);
+    }
+
+    #[test]
+    fn ulp_metric_distinguishes_adjacent_floats() {
+        let cnf = Cnf::new(1).and(Clause::from(Atom::eq(Expr::var(0), Expr::constant(1.0))));
+        let wd = CnfWeakDistance::new(cnf).with_metric(DistanceMetric::Ulp);
+        assert_eq!(wd.eval(&[1.0]), 0.0);
+        assert_eq!(wd.eval(&[1.0 + f64::EPSILON]), 1.0);
+        // The absolute metric would report a misleadingly tiny 2.2e-16 here.
+        let abs = CnfWeakDistance::new(
+            Cnf::new(1).and(Clause::from(Atom::eq(Expr::var(0), Expr::constant(1.0)))),
+        );
+        assert!(abs.eval(&[1.0 + f64::EPSILON]) < 1e-15);
+    }
+
+    #[test]
+    fn strict_violation_at_tie_is_positive() {
+        let cnf = Cnf::new(1).and(Clause::from(Atom::lt(Expr::var(0), Expr::constant(1.0))));
+        let wd = CnfWeakDistance::new(cnf);
+        assert!(wd.eval(&[1.0]) > 0.0);
+        assert_eq!(wd.eval(&[0.5]), 0.0);
+    }
+}

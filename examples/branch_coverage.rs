@@ -1,0 +1,26 @@
+//! Instance 4: branch-coverage-based testing (CoverMe-style) of the Airy
+//! benchmark — generate a small test suite that exercises every region of
+//! the implementation.
+//!
+//! Run with `cargo run --release --example branch_coverage`.
+
+use wdm::core::coverage::CoverageAnalysis;
+use wdm::core::driver::AnalysisConfig;
+use wdm::gsl::airy::AiryAi;
+
+fn main() {
+    let analysis = CoverageAnalysis::new(AiryAi::new());
+    let config = AnalysisConfig::quick(11).with_max_evals(20_000);
+    let report = analysis.run(&[vec![0.0]], &config);
+
+    println!(
+        "branch coverage: {}/{} (branch, direction) pairs covered ({:.0}%)",
+        report.covered.len(),
+        report.total_pairs,
+        report.coverage() * 100.0
+    );
+    println!("generated test suite ({} inputs):", report.suite.len());
+    for input in &report.suite {
+        println!("  Ai({:.6e})", input[0]);
+    }
+}
