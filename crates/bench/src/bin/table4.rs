@@ -12,7 +12,7 @@ fn main() {
     let config = AnalysisConfig::thorough(42).with_max_evals(budget).with_rounds(3);
     let result = run_fpod(GslBenchmark::Bessel, &config);
     println!("Table 4. Floating-point overflow detected in Bessel.");
-    println!("{:<58} {}", "floating-point operation", "nu*, x*");
+    println!("{:<58} nu*, x*", "floating-point operation");
     for op in &result.overflow.operations {
         match &op.witness {
             Some(w) => println!("{:<58} {:.2e}, {:.2e}", op.site.label, w[0], w[1]),

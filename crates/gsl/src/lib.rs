@@ -35,6 +35,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The ports keep the upstream C sources' full constant digit strings
+// (glibc's sin reduction constants, GSL's machine epsilons, ...) so they
+// can be diffed against the originals, even where f64 cannot represent
+// every digit.
+#![allow(clippy::excessive_precision)]
 
 pub mod airy;
 pub mod bessel;

@@ -46,7 +46,7 @@ mod tests {
     #[test]
     fn log_max_is_consistent() {
         assert!((GSL_LOG_DBL_MAX.exp() / GSL_DBL_MAX - 1.0).abs() < 1e-10);
-        assert!(GSL_DBL_MIN > 0.0);
+        assert_eq!(GSL_DBL_MIN, f64::MIN_POSITIVE);
         assert!((GSL_SQRT_DBL_MAX * GSL_SQRT_DBL_MAX).is_finite());
     }
 

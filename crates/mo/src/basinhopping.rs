@@ -340,7 +340,7 @@ mod tests {
         let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_max_evals(2_000);
         let mut trace = SamplingTrace::new();
         let r = BasinHopping::default().with_hops(5).minimize(&p, 1, &mut trace);
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         assert!(trace.len() as u64 == trace.total_seen());
         assert!(r.evals <= 2_000);
     }

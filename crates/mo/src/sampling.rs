@@ -45,11 +45,17 @@ impl SampleSink for NoTrace {
 /// assert_eq!(trace.len(), 2); // indices 0 and 2
 /// assert_eq!(trace.samples()[1].x, vec![3.0]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SamplingTrace {
     samples: Vec<Sample>,
     stride: u64,
     recorded_total: u64,
+}
+
+impl Default for SamplingTrace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SamplingTrace {
@@ -109,7 +115,7 @@ impl SamplingTrace {
 impl SampleSink for SamplingTrace {
     fn record(&mut self, index: u64, x: &[f64], value: f64) {
         self.recorded_total += 1;
-        if index % self.stride == 0 {
+        if index.is_multiple_of(self.stride) {
             self.samples.push(Sample {
                 index,
                 x: x.to_vec(),

@@ -1,0 +1,52 @@
+//! Determinism regression test: the whole analysis pipeline is seeded
+//! through a single deterministic ChaCha8 stream, so two runs with the same
+//! seed must produce bit-identical outcomes. Guards the `rand_chacha`
+//! seeding path (`wdm_mo`'s `rng_from_seed`) against accidental
+//! nondeterminism (e.g. a `HashMap` iteration order or a time-based seed
+//! sneaking in).
+
+use wdm::core::boundary::BoundaryAnalysis;
+use wdm::core::driver::{AnalysisConfig, BackendKind, Outcome};
+use wdm::gsl::toy::Fig2Program;
+
+/// Runs one quick boundary analysis and returns its outcome.
+fn run(seed: u64) -> Outcome {
+    BoundaryAnalysis::new(Fig2Program::new()).find_any(&AnalysisConfig::quick(seed))
+}
+
+#[test]
+fn same_seed_same_outcome() {
+    for seed in [0, 1, 7, 42, 0xDEAD_BEEF] {
+        let first = run(seed);
+        let second = run(seed);
+        assert_eq!(
+            first, second,
+            "boundary analysis with seed {seed} was not deterministic"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_outcome_across_backends() {
+    for backend in [
+        BackendKind::BasinHopping,
+        BackendKind::DifferentialEvolution,
+        BackendKind::Powell,
+    ] {
+        let config = AnalysisConfig::quick(11).with_backend(backend);
+        let first = BoundaryAnalysis::new(Fig2Program::new()).find_any(&config);
+        let second = BoundaryAnalysis::new(Fig2Program::new()).find_any(&config);
+        assert_eq!(first, second, "{backend:?} was not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_take_different_trajectories() {
+    // Catches an RNG that ignores its seed: independent seeds virtually
+    // never produce identical witnesses and evaluation counts. If this
+    // ever flakes for a specific pair, both runs legitimately converged —
+    // pick a different pair, don't weaken the same-seed tests above.
+    let a = run(3);
+    let b = run(4);
+    assert_ne!(a, b, "seeds 3 and 4 produced identical outcomes");
+}

@@ -1,0 +1,122 @@
+//! Offline subset of `proptest`: the `proptest!` macro, the
+//! `prop_assert*`/`prop_assume` macros and a few strategies (`any`, float
+//! ranges), driven by the vendored deterministic ChaCha8 generator.
+//!
+//! Semantics: every property runs 256 deterministic cases (seeded from the
+//! test's name), a failing `prop_assert*` panics like `assert!`, and
+//! `prop_assume` skips the current case. There is no shrinking — a failing
+//! case reports the sampled values via the assertion message instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// How many cases each property runs.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Creates the RNG for one property run.
+pub fn test_rng(name: &str) -> rand_chacha::ChaCha8Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed_for(name))
+}
+
+/// A strategy producing arbitrary values of `T` (all bit patterns for the
+/// numeric types supported).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T`, like `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Defines property tests. Each function runs [`DEFAULT_CASES`] cases with
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..$crate::DEFAULT_CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __run = || { $body };
+                    let _ = __case;
+                    __run();
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption does not hold. Only valid
+/// directly inside a `proptest!` body (it returns from the case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -10.0..10.0f64) {
+            prop_assert!((-10.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(bits in any::<u64>()) {
+            prop_assume!(bits.is_multiple_of(2));
+            prop_assert_eq!(bits % 2, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+}

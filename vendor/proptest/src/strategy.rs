@@ -1,0 +1,101 @@
+//! Value-generation strategies for the vendored proptest stub.
+
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+use crate::Any;
+
+/// A source of random test inputs. Unlike real proptest there is no value
+/// tree or shrinking; a strategy just samples.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> f64 {
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> f64 {
+        self.start() + rng.gen::<f64>() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> i64 {
+        assert!(self.start < self.end);
+        let span = (self.end as i128 - self.start as i128) as u128;
+        (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as i64
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        assert!(self.start < self.end);
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> f64 {
+        // All bit patterns, like proptest's `any::<f64>()` in its widest
+        // configuration. Callers `prop_assume` finiteness where needed.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}

@@ -1,0 +1,202 @@
+//! A dependency-free `#[derive(Serialize)]` for the vendored serde stub.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` available
+//! offline) and supports the two shapes the workspace uses:
+//!
+//! * structs with named fields — serialized as an object in field order;
+//! * enums with unit variants only — serialized as the variant name,
+//!   matching serde's externally-tagged default.
+//!
+//! Anything fancier (generics, tuple structs, data-carrying variants)
+//! produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stub's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility qualifiers.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored #[derive(Serialize)] does not support generics on `{name}`"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "the vendored #[derive(Serialize)] needs a braced {kind} body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => expand_struct(&name, body),
+        "enum" => expand_enum(&name, body),
+        other => Err(format!("cannot derive Serialize for item kind `{other}`")),
+    }
+}
+
+/// Collects the named fields of a struct body, skipping attributes,
+/// visibility and the type tokens (tracking `<...>` nesting so commas
+/// inside generic arguments do not split a field).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => {
+                        return Err(format!(
+                            "expected `:` after field `{}`, found {other:?} — tuple structs are unsupported",
+                            fields.last().unwrap()
+                        ))
+                    }
+                }
+                let mut angle_depth = 0usize;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            angle_depth = angle_depth.saturating_sub(1)
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn expand_struct(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+    let fields = named_fields(body)?;
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),")
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+fn expand_enum(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "the vendored #[derive(Serialize)] only supports unit variants; `{name}::{variant}` carries data"
+                        ))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip `= expr` up to the comma.
+                        i += 1;
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                    other => return Err(format!("unexpected token after variant: {other:?}")),
+                }
+                variants.push(variant);
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}

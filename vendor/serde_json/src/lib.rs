@@ -1,0 +1,149 @@
+//! Offline subset of `serde_json`: renders the vendored serde stub's
+//! [`serde::Value`] tree as JSON text. Only the entry points the workspace
+//! uses (`to_string`, `to_string_pretty`) are provided.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The stub's value tree is always serializable, so
+/// the only failure mode is a non-finite float, which JSON cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent, like the
+/// real `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Match serde_json: floats always carry a decimal point or
+                // exponent so they round-trip as floats.
+                let text = format!("{x:?}");
+                out.push_str(&text);
+            } else {
+                // serde_json maps non-finite floats to null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => render_seq(items.iter(), items.len(), indent, depth, out, ('[', ']'), |item, indent, depth, out| {
+            render(item, indent, depth, out)
+        }),
+        Value::Object(entries) => render_seq(
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            out,
+            ('{', '}'),
+            |(key, item), indent, depth, out| {
+                render_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth, out);
+            },
+        ),
+    }
+}
+
+fn render_seq<I, T>(
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    brackets: (char, char),
+    mut each: impl FnMut(T, Option<usize>, usize, &mut String),
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        each(item, indent, depth + 1, out);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_strings() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&42usize).unwrap(), "42");
+    }
+
+    #[test]
+    fn pretty_prints_nested_values() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("[\n  [\n    1,\n    2\n  ]"), "got: {text}");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}
