@@ -1,0 +1,49 @@
+//! Criterion benches of the parallel execution engine: campaign mode and
+//! restart sharding at 1 vs 4 workers on down-scaled workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wdm_core::driver::minimize_weak_distance;
+use wdm_core::weak_distance::FnWeakDistance;
+use wdm_core::AnalysisConfig;
+use wdm_engine::gsl_suite;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_campaign");
+    group.sample_size(10);
+    let config = AnalysisConfig::quick(3).with_rounds(1).with_max_evals(1_500);
+
+    group.bench_function("gsl_suite/1_thread", |b| {
+        b.iter(|| black_box(gsl_suite(&config).run(1)))
+    });
+    group.bench_function("gsl_suite/4_threads", |b| {
+        b.iter(|| black_box(gsl_suite(&config).run(4)))
+    });
+    group.finish();
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_sharding");
+    group.sample_size(10);
+    // Zero-free distance: every round runs its full budget.
+    let wd = FnWeakDistance::new(1, vec![fp_runtime::Interval::symmetric(1.0e4)], |x: &[f64]| {
+        (x[0] - 1.0).abs() * (x[0] + 3.0).abs() + 0.5
+    });
+    let config = AnalysisConfig::quick(5).with_rounds(8).with_max_evals(2_000);
+
+    group.bench_function("restart_rounds/sequential", |b| {
+        b.iter(|| black_box(minimize_weak_distance(&wd, &config)))
+    });
+    group.bench_function("restart_rounds/4_threads", |b| {
+        b.iter(|| {
+            black_box(minimize_weak_distance(
+                &wd,
+                &config.clone().with_parallelism(4),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_sharding);
+criterion_main!(benches);

@@ -13,5 +13,5 @@ fn main() {
         fig.zero_hits,
         fig.expected_solutions
     );
-    wdm_bench::write_json("fig3", &fig);
+    wdm_bench::emit_json("fig3", &fig);
 }

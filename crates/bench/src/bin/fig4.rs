@@ -18,5 +18,5 @@ fn main() {
         inside,
         fig.zero_hits
     );
-    wdm_bench::write_json("fig4", &fig);
+    wdm_bench::emit_json("fig4", &fig);
 }

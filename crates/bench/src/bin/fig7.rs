@@ -14,5 +14,5 @@ fn main() {
         fig.samples.len(),
         fig.zero_hits
     );
-    wdm_bench::write_json("fig7", &fig);
+    wdm_bench::emit_json("fig7", &fig);
 }

@@ -1,0 +1,157 @@
+//! Measures the wall-clock speedup of the `wdm_engine` parallel paths over
+//! the sequential driver, and verifies that parallelism never changes
+//! results.
+//!
+//! Two workloads are measured:
+//!
+//! * **campaign** — the full GSL benchmark suite (`wdm_engine::gsl_suite`)
+//!   on 1 worker vs N workers, asserting the deterministic job results are
+//!   bit-identical;
+//! * **shard** — one hard weak-distance minimization with the restart
+//!   rounds sharded (`AnalysisConfig::parallelism`) at 1 vs N threads,
+//!   asserting the merged outcome is bit-identical.
+//!
+//! Usage: `parallel_speedup [--smoke] [--threads N] [--json <path>]`
+//! (`--smoke` shrinks the budgets for CI; `--threads` defaults to 4 or
+//! `WDM_THREADS`).
+
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::driver::minimize_weak_distance;
+use wdm_core::weak_distance::FnWeakDistance;
+use wdm_core::AnalysisConfig;
+use wdm_engine::gsl_suite;
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    threads: usize,
+    sequential_seconds: f64,
+    parallel_seconds: f64,
+    speedup: f64,
+    deterministic_match: bool,
+    total_evals: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SpeedupReport {
+    smoke: bool,
+    threads: usize,
+    workloads: Vec<WorkloadReport>,
+}
+
+fn campaign_workload(config: &AnalysisConfig, threads: usize) -> WorkloadReport {
+    let sequential = gsl_suite(config).run(1);
+    let parallel = gsl_suite(config).run(threads);
+    let deterministic_match =
+        sequential.deterministic_results() == parallel.deterministic_results();
+    WorkloadReport {
+        workload: "campaign/gsl_suite".to_string(),
+        threads,
+        sequential_seconds: sequential.wall_seconds,
+        parallel_seconds: parallel.wall_seconds,
+        speedup: sequential.wall_seconds / parallel.wall_seconds.max(1e-9),
+        deterministic_match,
+        total_evals: parallel.total_evals,
+    }
+}
+
+fn shard_workload(config: &AnalysisConfig, threads: usize) -> WorkloadReport {
+    // A zero-free weak distance: every restart round runs its full budget,
+    // which is the worst case for the sequential driver and the best case
+    // for sharding.
+    let wd = FnWeakDistance::new(
+        2,
+        vec![fp_runtime::Interval::symmetric(1.0e6); 2],
+        |x: &[f64]| {
+            let a = (x[0] - 1.0).abs();
+            let b = (x[1] + 2.0).abs();
+            a * b + (a + b).sqrt() + 0.25
+        },
+    )
+    .with_description("zero-free product distance");
+
+    let started = Instant::now();
+    let sequential = minimize_weak_distance(&wd, config);
+    let sequential_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let parallel = minimize_weak_distance(&wd, &config.clone().with_parallelism(threads));
+    let parallel_seconds = started.elapsed().as_secs_f64();
+
+    WorkloadReport {
+        workload: "shard/restart_rounds".to_string(),
+        threads,
+        sequential_seconds,
+        parallel_seconds,
+        speedup: sequential_seconds / parallel_seconds.max(1e-9),
+        deterministic_match: sequential.outcome == parallel.outcome
+            && sequential.best == parallel.best,
+        total_evals: parallel.outcome.evals(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::env::var("WDM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4));
+
+    let (campaign_config, shard_config) = if smoke {
+        (
+            AnalysisConfig::quick(11).with_rounds(1).with_max_evals(2_000),
+            AnalysisConfig::quick(11).with_rounds(8).with_max_evals(4_000),
+        )
+    } else {
+        (
+            AnalysisConfig::quick(11).with_rounds(2).with_max_evals(20_000),
+            AnalysisConfig::quick(11).with_rounds(16).with_max_evals(60_000),
+        )
+    };
+
+    println!(
+        "Parallel speedup experiment ({} mode, {} workers)",
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+    let workloads = vec![
+        campaign_workload(&campaign_config, threads),
+        shard_workload(&shard_config, threads),
+    ];
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}  deterministic",
+        "workload", "seq (s)", "par (s)", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>7.2}x  {}",
+            w.workload,
+            w.sequential_seconds,
+            w.parallel_seconds,
+            w.speedup,
+            if w.deterministic_match { "yes" } else { "NO" }
+        );
+    }
+
+    let report = SpeedupReport {
+        smoke,
+        threads,
+        workloads,
+    };
+    wdm_bench::emit_json("parallel_speedup", &report);
+
+    if report.workloads.iter().any(|w| !w.deterministic_match) {
+        eprintln!("error: parallel results diverged from sequential results");
+        std::process::exit(1);
+    }
+}

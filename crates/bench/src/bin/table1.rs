@@ -15,5 +15,5 @@ fn main() {
             minima.join(", ")
         );
     }
-    wdm_bench::write_json("table1", &rows);
+    wdm_bench::emit_json("table1", &rows);
 }

@@ -31,5 +31,5 @@ fn main() {
     for (samples, conditions) in &study.progress {
         println!("  after {samples:>9} samples: {conditions} conditions triggered");
     }
-    wdm_bench::write_json("table2_fig9", &study);
+    wdm_bench::emit_json("table2_fig9", &study);
 }

@@ -25,5 +25,5 @@ fn main() {
         );
         rows.push(row);
     }
-    wdm_bench::write_json("table3", &rows);
+    wdm_bench::emit_json("table3", &rows);
 }

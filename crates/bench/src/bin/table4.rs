@@ -32,5 +32,5 @@ fn main() {
         .iter()
         .map(|o| (o.site.label.clone(), o.witness.clone()))
         .collect();
-    wdm_bench::write_json("table4", &rows);
+    wdm_bench::emit_json("table4", &rows);
 }

@@ -40,5 +40,5 @@ fn main() {
             ));
         }
     }
-    wdm_bench::write_json("table5", &serializable);
+    wdm_bench::emit_json("table5", &serializable);
 }

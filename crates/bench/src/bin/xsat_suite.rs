@@ -19,5 +19,5 @@ fn main() {
             model
         );
     }
-    wdm_bench::write_json("xsat_suite", &cases);
+    wdm_bench::emit_json("xsat_suite", &cases);
 }

@@ -15,5 +15,5 @@ pub mod report;
 pub mod restricted;
 
 pub use experiments::*;
-pub use report::write_json;
+pub use report::{emit_json, json_arg, write_json, write_json_at};
 pub use restricted::Restricted;

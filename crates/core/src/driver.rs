@@ -1,9 +1,38 @@
-//! The generic weak-distance-minimization driver (Algorithm 2).
+//! The generic weak-distance-minimization driver (Algorithm 2), with an
+//! optional parallel execution mode.
+//!
+//! # Parallel restart sharding
+//!
+//! The driver's independent minimization rounds (Algorithm 3 step 4) are an
+//! embarrassingly parallel workload. When
+//! [`AnalysisConfig::parallelism`] > 1 the rounds are split across that many
+//! worker threads. Determinism is preserved exactly:
+//!
+//! * every round's seed is derived from the root seed by a SplitMix64-style
+//!   bijective mix ([`derive_round_seed`]), independent of scheduling;
+//! * rounds are *merged in round order*, stopping at the first round whose
+//!   minimum reached zero — precisely the rounds a sequential run would
+//!   have executed — so the reported [`Outcome`] (witness, best value,
+//!   evaluation count and even the recorded sampling trace) is bit-identical
+//!   for any thread count, including 1 and the sequential path;
+//! * once some round finds a zero, all *later* rounds are cancelled through
+//!   their [`CancelToken`]s (their results are discarded by the merge, so
+//!   cancelling them cannot change the outcome — it only saves work).
+//!
+//! # Portfolio mode
+//!
+//! [`minimize_weak_distance_portfolio`] races several [`BackendKind`]s on
+//! the same weak distance; the first backend to find a zero cancels the
+//! rest. Which backend wins the race is timing-dependent (the returned
+//! witness is still always a true zero — Theorem 3.3 does not care who
+//! found it), so portfolio mode trades the bit-level determinism of restart
+//! sharding for the lowest time-to-first-solution.
 
 use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use wdm_mo::{
-    BasinHopping, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart, NoTrace,
-    Powell, Problem, RandomSearch, SamplingTrace,
+    BasinHopping, CancelToken, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart,
+    NoTrace, Powell, Problem, RandomSearch, SamplingTrace,
 };
 
 /// Which MO backend Algorithm 2 uses (Section 4.1 treats the backend as an
@@ -72,6 +101,11 @@ pub struct AnalysisConfig {
     pub record_samples: bool,
     /// Keep every `sample_stride`-th sample when recording.
     pub sample_stride: u64,
+    /// Number of worker threads used to shard the minimization rounds.
+    /// `0` and `1` both mean "run sequentially". The outcome is
+    /// bit-identical for every value — parallelism only changes wall-clock
+    /// time.
+    pub parallelism: usize,
 }
 
 impl AnalysisConfig {
@@ -84,6 +118,7 @@ impl AnalysisConfig {
             backend: BackendKind::BasinHopping,
             record_samples: false,
             sample_stride: 1,
+            parallelism: 1,
         }
     }
 
@@ -96,6 +131,7 @@ impl AnalysisConfig {
             backend: BackendKind::BasinHopping,
             record_samples: false,
             sample_stride: 1,
+            parallelism: 1,
         }
     }
 
@@ -121,6 +157,26 @@ impl AnalysisConfig {
     pub fn recording(mut self, stride: u64) -> Self {
         self.record_samples = true;
         self.sample_stride = stride.max(1);
+        self
+    }
+
+    /// Sets the number of worker threads sharding the rounds (`<= 1` means
+    /// sequential). Does not change the outcome, only the wall-clock time.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Decorrelates this configuration's restart stream from the root seed:
+    /// offset 0 leaves the seed unchanged, every other offset derives a
+    /// distinct stream. The portfolio racer gives each backend its own
+    /// offset so they do not all retrace the same starting points.
+    pub fn with_seed_offset(mut self, offset: u64) -> Self {
+        if offset > 0 {
+            // Offsets map far away from the small round indices used by
+            // derive_round_seed inside a run, so streams cannot overlap.
+            self.seed = derive_round_seed(self.seed, u64::MAX - offset);
+        }
         self
     }
 }
@@ -183,37 +239,74 @@ pub struct MinimizationRun {
     pub trace: SamplingTrace,
 }
 
-/// Algorithm 2: minimizes `wd` with the configured backend and budget.
+/// Derives the seed of round (shard) `round` from the root seed by a
+/// SplitMix64-style finalizer (Stafford's Mix13 constants).
 ///
-/// The weak distance reaching exactly zero means a solution of the
-/// underlying problem has been found (Theorem 3.3); a strictly positive
-/// minimum is reported as "not found" (which, by Limitation 3, is not a
-/// proof of emptiness).
-pub fn minimize_weak_distance(wd: &dyn WeakDistance, config: &AnalysisConfig) -> MinimizationRun {
-    let objective = WeakDistanceObjective::new(wd);
-    let bounds = objective.bounds();
+/// The mix is a bijection of `u64` applied to `root + (round + 1) * γ` with
+/// odd γ, so for a fixed root seed, distinct round indices can never
+/// collide — every shard of a parallel run gets a distinct, statistically
+/// independent seed, and the derivation does not depend on which thread
+/// runs the shard.
+pub fn derive_round_seed(root: u64, round: u64) -> u64 {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = root.wrapping_add(round.wrapping_add(1).wrapping_mul(GAMMA));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One completed minimization round: the backend result plus the samples it
+/// recorded (empty unless recording is on).
+struct RoundRun {
+    result: MinimizeResult,
+    trace: SamplingTrace,
+}
+
+/// Runs round `round` of the restart loop: one backend run from the
+/// round-derived seed, recording into a fresh per-round trace.
+fn run_round(
+    objective: &WeakDistanceObjective<'_>,
+    bounds: &wdm_mo::Bounds,
+    config: &AnalysisConfig,
+    round: usize,
+    cancel: CancelToken,
+) -> RoundRun {
+    let problem = Problem::new(objective, bounds.clone())
+        .with_target(0.0)
+        .with_max_evals(config.max_evals)
+        .with_cancel(cancel);
+    let seed = derive_round_seed(config.seed, round as u64);
     let backend = config.backend.build();
     let mut trace = SamplingTrace::with_stride(config.sample_stride);
+    let result = if config.record_samples {
+        backend.minimize(&problem, seed, &mut trace)
+    } else {
+        backend.minimize(&problem, seed, &mut NoTrace)
+    };
+    RoundRun { result, trace }
+}
 
+/// Merges per-round results exactly as the sequential restart loop would:
+/// rounds are charged in index order up to and including the first round
+/// whose minimum reached zero; later rounds (run speculatively by the
+/// parallel path, or never run at all) are discarded.
+fn merge_rounds(rounds: Vec<Option<RoundRun>>) -> MinimizationRun {
     let mut best: Option<MinimizeResult> = None;
     let mut total_evals = 0usize;
-    for round in 0..config.rounds.max(1) {
-        let problem = Problem::new(&objective, bounds.clone())
-            .with_target(0.0)
-            .with_max_evals(config.max_evals);
-        let seed = config.seed.wrapping_add(round as u64).wrapping_mul(0x9e37_79b9);
-        let result = if config.record_samples {
-            backend.minimize(&problem, seed, &mut trace)
-        } else {
-            backend.minimize(&problem, seed, &mut NoTrace)
-        };
-        total_evals += result.evals;
+    let mut trace: Option<SamplingTrace> = None;
+    for round in rounds.into_iter() {
+        let round = round.expect("every merged round must have completed");
+        total_evals += round.result.evals;
+        match &mut trace {
+            None => trace = Some(round.trace),
+            Some(t) => t.append(round.trace),
+        }
         let is_better = best
             .as_ref()
-            .map(|b| result.value < b.value || b.value.is_nan())
+            .map(|b| round.result.value < b.value || b.value.is_nan())
             .unwrap_or(true);
         if is_better {
-            best = Some(result);
+            best = Some(round.result);
         }
         if best.as_ref().map(|b| b.value <= 0.0).unwrap_or(false) {
             break;
@@ -236,7 +329,231 @@ pub fn minimize_weak_distance(wd: &dyn WeakDistance, config: &AnalysisConfig) ->
     MinimizationRun {
         outcome,
         best,
-        trace,
+        trace: trace.expect("at least one round ran"),
+    }
+}
+
+/// Algorithm 2: minimizes `wd` with the configured backend and budget.
+///
+/// The weak distance reaching exactly zero means a solution of the
+/// underlying problem has been found (Theorem 3.3); a strictly positive
+/// minimum is reported as "not found" (which, by Limitation 3, is not a
+/// proof of emptiness).
+///
+/// With [`AnalysisConfig::parallelism`] > 1 the independent rounds are
+/// sharded across worker threads; the result is bit-identical to the
+/// sequential run (see the module documentation).
+pub fn minimize_weak_distance(wd: &dyn WeakDistance, config: &AnalysisConfig) -> MinimizationRun {
+    minimize_weak_distance_cancellable(wd, config, &CancelToken::new())
+}
+
+/// [`minimize_weak_distance`] with an external cancellation token: the run
+/// stops at the next objective evaluation once `cancel` fires. The engine's
+/// portfolio and campaign modes use this to stop losing searches early.
+pub fn minimize_weak_distance_cancellable(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    cancel: &CancelToken,
+) -> MinimizationRun {
+    let objective = WeakDistanceObjective::new(wd);
+    let bounds = objective.bounds();
+    let rounds = config.rounds.max(1);
+    let workers = config.parallelism.max(1).min(rounds);
+
+    let round_runs: Vec<Option<RoundRun>> = if workers <= 1 {
+        // Sequential path: run rounds in order, stop after the first zero
+        // (exactly what merge_rounds charges).
+        let mut runs: Vec<Option<RoundRun>> = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            let run = run_round(&objective, &bounds, config, round, cancel.clone());
+            let hit = run.result.value <= 0.0;
+            runs.push(Some(run));
+            if hit {
+                break;
+            }
+        }
+        runs
+    } else {
+        run_rounds_parallel(&objective, &bounds, config, rounds, workers, cancel)
+    };
+
+    merge_rounds(round_runs)
+}
+
+/// Shards `rounds` rounds over `workers` threads with first-hit
+/// cancellation of the rounds the merge will discard.
+fn run_rounds_parallel(
+    objective: &WeakDistanceObjective<'_>,
+    bounds: &wdm_mo::Bounds,
+    config: &AnalysisConfig,
+    rounds: usize,
+    workers: usize,
+    cancel: &CancelToken,
+) -> Vec<Option<RoundRun>> {
+    // One child token per round so rounds after an early hit can be stopped
+    // individually while earlier rounds (still charged by the merge) finish
+    // undisturbed.
+    let tokens: Vec<CancelToken> = (0..rounds).map(|_| cancel.child()).collect();
+    // Smallest round index that reached zero so far (usize::MAX = none).
+    let first_hit = AtomicUsize::new(usize::MAX);
+
+    let mut runs = wdm_mo::scoped_map(workers, rounds, |round| {
+        // A strictly earlier round already hit zero: this round's result
+        // would be discarded by the merge — skip it.
+        if first_hit.load(Ordering::Acquire) < round {
+            return None;
+        }
+        let run = run_round(objective, bounds, config, round, tokens[round].clone());
+        if run.result.value <= 0.0 {
+            // Record the minimum hit index and cancel every later round —
+            // those are exactly the rounds the merge discards, so
+            // cancelling them cannot change the result.
+            let mut current = first_hit.load(Ordering::Acquire);
+            while round < current {
+                match first_hit.compare_exchange(
+                    current,
+                    round,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+            for token in tokens.iter().skip(round + 1) {
+                token.cancel();
+            }
+        }
+        Some(run)
+    });
+
+    // Hand the merge only the rounds it will look at: everything up to and
+    // including the first hit (or all rounds when nothing hit zero).
+    let stop = first_hit.load(Ordering::Acquire).min(rounds.saturating_sub(1));
+    runs.truncate(stop + 1);
+    runs
+}
+
+/// The result of one backend inside a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioEntry {
+    /// Which backend this is.
+    pub backend: BackendKind,
+    /// The backend's full minimization run (its best may carry
+    /// `Termination::Cancelled` if it lost the race).
+    pub run: MinimizationRun,
+}
+
+/// The result of racing several backends on one weak distance.
+#[derive(Debug, Clone)]
+pub struct PortfolioRun {
+    /// The index into `entries` whose outcome is reported (first backend in
+    /// the given order with a solution, otherwise the best residual).
+    pub winner: usize,
+    /// Per-backend results, in the order the backends were given.
+    pub entries: Vec<PortfolioEntry>,
+}
+
+impl PortfolioRun {
+    /// The winning backend.
+    pub fn winning_backend(&self) -> BackendKind {
+        self.entries[self.winner].backend
+    }
+
+    /// The reported outcome (the winner's, with evaluations summed over the
+    /// whole portfolio — every backend's work is charged).
+    pub fn outcome(&self) -> Outcome {
+        let total_evals: usize = self
+            .entries
+            .iter()
+            .map(|e| e.run.outcome.evals())
+            .sum();
+        match &self.entries[self.winner].run.outcome {
+            Outcome::Found { input, .. } => Outcome::Found {
+                input: input.clone(),
+                evals: total_evals,
+            },
+            Outcome::NotFound {
+                best_value,
+                best_input,
+                ..
+            } => Outcome::NotFound {
+                best_value: *best_value,
+                best_input: best_input.clone(),
+                evals: total_evals,
+            },
+        }
+    }
+}
+
+/// Portfolio mode: races `backends` on `wd`, each with the full
+/// round/budget configuration, cancelling the rest as soon as one finds a
+/// zero.
+///
+/// The returned witness (if any) is always a true zero of the weak
+/// distance; *which* backend provides it — and how many evaluations the
+/// cancelled backends spent — depends on thread timing. Use restart
+/// sharding ([`AnalysisConfig::parallelism`]) when bit-level reproducibility
+/// matters more than time-to-first-solution.
+///
+/// # Panics
+///
+/// Panics if `backends` is empty.
+pub fn minimize_weak_distance_portfolio(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    backends: &[BackendKind],
+) -> PortfolioRun {
+    assert!(!backends.is_empty(), "portfolio needs at least one backend");
+    let race = CancelToken::new();
+    let runs: Vec<MinimizationRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = backends
+            .iter()
+            .enumerate()
+            .map(|(index, &backend)| {
+                let race = &race;
+                let config = config
+                    .clone()
+                    .with_backend(backend)
+                    .with_parallelism(1)
+                    // Decorrelate the backends' restart streams.
+                    .with_seed_offset(index as u64);
+                scope.spawn(move || {
+                    let run = minimize_weak_distance_cancellable(wd, &config, &race.child());
+                    if run.outcome.is_found() {
+                        race.cancel();
+                    }
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio worker panicked"))
+            .collect()
+    });
+
+    let winner = runs
+        .iter()
+        .position(|r| r.outcome.is_found())
+        .unwrap_or_else(|| {
+            // Nobody found a zero: report the best residual (NaN-aware).
+            let mut best = 0usize;
+            for (i, run) in runs.iter().enumerate() {
+                let (b, c) = (runs[best].best.value, run.best.value);
+                if c < b || (b.is_nan() && !c.is_nan()) {
+                    best = i;
+                }
+            }
+            best
+        });
+    PortfolioRun {
+        winner,
+        entries: backends
+            .iter()
+            .zip(runs)
+            .map(|(&backend, run)| PortfolioEntry { backend, run })
+            .collect(),
     }
 }
 
@@ -326,6 +643,111 @@ mod tests {
         };
         assert_eq!(not.clone().into_input(), None);
         assert_eq!(not.evals(), 20);
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential_bit_for_bit() {
+        // A weak distance with no zero: every round runs to completion, so
+        // the merge must charge all of them identically at any thread count.
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            x[0].abs() + 0.5
+        });
+        let base = AnalysisConfig::quick(41).with_rounds(6).with_max_evals(4_000);
+        let sequential = minimize_weak_distance(&wd, &base);
+        for threads in [2, 3, 8] {
+            let parallel =
+                minimize_weak_distance(&wd, &base.clone().with_parallelism(threads));
+            assert_eq!(parallel.outcome, sequential.outcome, "threads = {threads}");
+            assert_eq!(parallel.best, sequential.best, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_find_solutions_too() {
+        let base = AnalysisConfig::quick(9).with_rounds(4);
+        let sequential = minimize_weak_distance(&wd_two_zeros(), &base);
+        let parallel =
+            minimize_weak_distance(&wd_two_zeros(), &base.clone().with_parallelism(4));
+        assert_eq!(parallel.outcome, sequential.outcome);
+    }
+
+    #[test]
+    fn parallel_recording_reproduces_the_sequential_trace() {
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(50.0)], |x: &[f64]| {
+            x[0].abs() + 1.0
+        });
+        let base = AnalysisConfig::quick(5)
+            .with_rounds(3)
+            .with_max_evals(2_000)
+            .recording(2);
+        let sequential = minimize_weak_distance(&wd, &base);
+        let parallel = minimize_weak_distance(&wd, &base.clone().with_parallelism(3));
+        assert_eq!(parallel.trace.len(), sequential.trace.len());
+        assert_eq!(parallel.trace.total_seen(), sequential.trace.total_seen());
+        assert_eq!(parallel.trace.samples(), sequential.trace.samples());
+    }
+
+    #[test]
+    fn derived_round_seeds_are_distinct_and_scheduling_free() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..2_000u64 {
+            assert!(seen.insert(derive_round_seed(123, round)), "round {round}");
+        }
+        assert_eq!(derive_round_seed(7, 3), derive_round_seed(7, 3));
+        assert_ne!(derive_round_seed(7, 3), derive_round_seed(8, 3));
+    }
+
+    #[test]
+    fn external_cancellation_stops_the_run_quickly() {
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            x[0].abs() + 1.0
+        });
+        let cancel = wdm_mo::CancelToken::new();
+        cancel.cancel();
+        let config = AnalysisConfig::quick(1).with_rounds(3).with_max_evals(100_000);
+        let run = minimize_weak_distance_cancellable(&wd, &config, &cancel);
+        // A pre-cancelled run spends almost nothing (only the evaluations a
+        // backend performs before its first stop check).
+        assert!(run.outcome.evals() < 5_000, "evals = {}", run.outcome.evals());
+    }
+
+    #[test]
+    fn portfolio_reports_a_true_zero_and_all_entries() {
+        let run = minimize_weak_distance_portfolio(
+            &wd_two_zeros(),
+            &AnalysisConfig::quick(2).with_rounds(2),
+            &BackendKind::all(),
+        );
+        assert_eq!(run.entries.len(), 5);
+        let outcome = run.outcome();
+        match outcome {
+            Outcome::Found { input, .. } => {
+                let x = input[0];
+                assert!(x == 1.0 || x == -3.0, "x = {x}");
+            }
+            Outcome::NotFound { best_value, .. } => panic!("not found, best = {best_value}"),
+        }
+        // The winner's own outcome is a solution.
+        assert!(run.entries[run.winner].run.outcome.is_found());
+        assert_eq!(run.winning_backend(), run.entries[run.winner].backend);
+    }
+
+    #[test]
+    fn portfolio_without_solutions_reports_best_residual() {
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(10.0)], |x: &[f64]| {
+            x[0].abs() + 2.0
+        });
+        let run = minimize_weak_distance_portfolio(
+            &wd,
+            &AnalysisConfig::quick(3).with_rounds(1).with_max_evals(3_000),
+            &[BackendKind::BasinHopping, BackendKind::RandomSearch],
+        );
+        match run.outcome() {
+            Outcome::NotFound { best_value, .. } => {
+                assert!((best_value - 2.0).abs() < 1e-9, "best = {best_value}");
+            }
+            Outcome::Found { input, .. } => panic!("spurious solution {input:?}"),
+        }
     }
 
     #[test]

@@ -12,7 +12,6 @@
 use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
 use crate::weak_distance::WeakDistance;
 use fp_runtime::{Analyzable, Interval, Observer, OpEvent, OpId, OpSite, ProbeControl};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Value of `w` when no tracked operation executed at all.
@@ -49,27 +48,18 @@ impl Observer for OverflowObserver<'_> {
 pub struct OverflowWeakDistance<P> {
     program: P,
     skip: BTreeSet<OpId>,
-    /// Remembers the last tracked site of the most recent evaluation — the
-    /// `target` heuristic of Algorithm 3 step (7).
-    last_target: RefCell<Option<OpId>>,
 }
 
 impl<P: Analyzable> OverflowWeakDistance<P> {
     /// Creates the weak distance with handled-site set `skip`.
     pub fn new(program: P, skip: BTreeSet<OpId>) -> Self {
-        OverflowWeakDistance {
-            program,
-            skip,
-            last_target: RefCell::new(None),
-        }
+        OverflowWeakDistance { program, skip }
     }
 
-    /// The target site of the most recent evaluation.
-    pub fn last_target(&self) -> Option<OpId> {
-        *self.last_target.borrow()
-    }
-
-    /// Evaluates and also reports which site (if any) overflowed.
+    /// Evaluates and also reports the last tracked site — the `target`
+    /// heuristic of Algorithm 3 step (7) — and which site (if any)
+    /// overflowed. All state lives in the per-call observer, so concurrent
+    /// evaluations from the parallel driver do not interact.
     pub fn eval_detailed(&self, x: &[f64]) -> (f64, Option<OpId>, Option<OpId>) {
         let mut obs = OverflowObserver {
             skip: &self.skip,
@@ -78,7 +68,6 @@ impl<P: Analyzable> OverflowWeakDistance<P> {
             overflowed_at: None,
         };
         self.program.run(x, &mut obs);
-        *self.last_target.borrow_mut() = obs.last_tracked;
         (obs.w, obs.last_tracked, obs.overflowed_at)
     }
 }

@@ -14,7 +14,13 @@ use wdm_mo::Objective;
 /// Implementations in this crate evaluate `W` by *executing* the program
 /// under analysis with an observer that folds the runtime events into `w` —
 /// never by reasoning about the program text.
-pub trait WeakDistance {
+///
+/// Weak distances are shared across worker threads by the parallel driver
+/// (restart shards and portfolio backends evaluate the same `W`
+/// concurrently), hence the `Send + Sync` bound: `eval` must tolerate
+/// concurrent calls. The standard construction — build a fresh observer,
+/// run the program, fold events — is naturally safe.
+pub trait WeakDistance: Send + Sync {
     /// Number of program inputs `N`.
     fn dim(&self) -> usize;
 
@@ -100,7 +106,7 @@ pub struct FnWeakDistance<F> {
 
 impl<F> FnWeakDistance<F>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Send + Sync,
 {
     /// Creates a closure-backed weak distance.
     pub fn new(dim: usize, domain: Vec<Interval>, f: F) -> Self {
@@ -122,7 +128,7 @@ where
 
 impl<F> WeakDistance for FnWeakDistance<F>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Send + Sync,
 {
     fn dim(&self) -> usize {
         self.dim

@@ -1,0 +1,369 @@
+//! Campaign mode: batch whole benchmark suites through the worker pool and
+//! reduce the per-job results into a single JSON-serializable report.
+//!
+//! A campaign is a queue of named, self-contained jobs (one analysis of one
+//! program — a boundary condition of the Glibc `sin` port, the overflow
+//! study of one GSL special function, ...). Jobs are independent, so the
+//! pool runs them embarrassingly parallel; each job is internally
+//! sequential with a fixed per-job seed derived from its queue position, so
+//! the *deterministic* part of the report (what was found, at which inputs,
+//! after how many evaluations) is bit-identical for every thread count —
+//! only the timing fields change.
+
+use crate::pool::WorkerPool;
+use serde::Serialize;
+use std::sync::mpsc;
+use std::time::Instant;
+use wdm_core::boundary::BoundaryAnalysis;
+use wdm_core::driver::derive_round_seed;
+use wdm_core::overflow::OverflowDetector;
+use wdm_core::{AnalysisConfig, Outcome};
+
+/// The deterministic result of one campaign job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobResult {
+    /// Job name, e.g. `"boundary/glibc_sin/k3"`.
+    pub job: String,
+    /// The analysis family (`"boundary"`, `"overflow"`).
+    pub analysis: String,
+    /// The program under analysis.
+    pub program: String,
+    /// How many targets (conditions, operation sites) were triggered.
+    pub found: usize,
+    /// How many targets were considered.
+    pub total: usize,
+    /// Best residual weak-distance value when a target was missed
+    /// (0 when everything was found; capped to `f64::MAX` for JSON).
+    pub best_value: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+}
+
+/// One finished job: the deterministic result plus its (nondeterministic)
+/// wall-clock time.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// The deterministic result.
+    pub result: JobResult,
+    /// Wall-clock seconds this job took on its worker.
+    pub seconds: f64,
+}
+
+/// The reduced result of a whole campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Sum of per-job wall-clock seconds (the sequential-equivalent time).
+    pub cpu_seconds: f64,
+    /// Total objective evaluations across every job.
+    pub total_evals: usize,
+    /// Number of jobs in which every target was triggered.
+    pub jobs_fully_solved: usize,
+    /// Per-job reports, in submission order regardless of scheduling.
+    pub jobs: Vec<JobReport>,
+}
+
+impl CampaignReport {
+    /// The deterministic portion of the report (everything except timing),
+    /// in submission order — bit-identical across thread counts, which the
+    /// determinism tests and the speedup experiment assert.
+    pub fn deterministic_results(&self) -> Vec<JobResult> {
+        self.jobs.iter().map(|j| j.result.clone()).collect()
+    }
+}
+
+type JobFn = Box<dyn FnOnce(&AnalysisConfig) -> JobResult + Send + 'static>;
+
+/// A named, self-contained unit of campaign work.
+pub struct CampaignJob {
+    name: String,
+    run: JobFn,
+}
+
+impl CampaignJob {
+    /// Wraps a closure as a campaign job.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl FnOnce(&AnalysisConfig) -> JobResult + Send + 'static,
+    ) -> Self {
+        CampaignJob {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The job name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for CampaignJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignJob").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// A batch of analysis jobs sharing one base configuration.
+#[derive(Debug)]
+pub struct Campaign {
+    config: AnalysisConfig,
+    jobs: Vec<CampaignJob>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign. Each job will run with `config`, except
+    /// that its seed is re-derived per job (from the campaign seed and the
+    /// job's queue position) so jobs are decorrelated yet scheduling-free.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Campaign {
+            config,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Appends a job to the queue.
+    pub fn push(&mut self, job: CampaignJob) {
+        self.jobs.push(job);
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The queued job names, in order.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.iter().map(|j| j.name()).collect()
+    }
+
+    /// Runs every job on a pool of `threads` workers and reduces the
+    /// results into one report (jobs ordered as submitted).
+    pub fn run(self, threads: usize) -> CampaignReport {
+        let started = Instant::now();
+        let threads = threads.max(1);
+        let n = self.jobs.len();
+        let (sender, receiver) = mpsc::channel::<(usize, JobReport)>();
+        let pool = WorkerPool::new(threads);
+        for (index, job) in self.jobs.into_iter().enumerate() {
+            let sender = sender.clone();
+            // Per-job seed: decorrelated, independent of scheduling.
+            let config = AnalysisConfig {
+                seed: derive_round_seed(self.config.seed, 0x00C0_FFEE_0000_0000 | index as u64),
+                ..self.config.clone()
+            };
+            pool.submit(move || {
+                let job_started = Instant::now();
+                let result = (job.run)(&config);
+                let report = JobReport {
+                    result,
+                    seconds: job_started.elapsed().as_secs_f64(),
+                };
+                // The receiver only disappears if the campaign itself
+                // panicked; nothing useful to do with the result then.
+                let _ = sender.send((index, report));
+            });
+        }
+        drop(sender);
+
+        let mut slots: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
+        for (index, report) in receiver.iter() {
+            slots[index] = Some(report);
+        }
+        drop(pool);
+
+        let jobs: Vec<JobReport> = slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect();
+        let cpu_seconds = jobs.iter().map(|j| j.seconds).sum();
+        let total_evals = jobs.iter().map(|j| j.result.evals).sum();
+        let jobs_fully_solved = jobs
+            .iter()
+            .filter(|j| j.result.found == j.result.total)
+            .count();
+        CampaignReport {
+            threads,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            cpu_seconds,
+            total_evals,
+            jobs_fully_solved,
+            jobs,
+        }
+    }
+}
+
+fn finite(value: f64) -> f64 {
+    if value.is_nan() {
+        f64::MAX
+    } else {
+        value.clamp(f64::MIN, f64::MAX)
+    }
+}
+
+/// A job triggering one specific boundary condition of `program`.
+fn boundary_condition_job<P>(name: String, program: P, site: fp_runtime::BranchId) -> CampaignJob
+where
+    P: fp_runtime::Analyzable + 'static,
+{
+    CampaignJob::new(name.clone(), move |config| {
+        let analysis = BoundaryAnalysis::new(program);
+        let (found, best_value, evals) = match analysis.find_condition(site, config) {
+            Outcome::Found { evals, .. } => (1, 0.0, evals),
+            Outcome::NotFound {
+                best_value, evals, ..
+            } => (0, finite(best_value), evals),
+        };
+        JobResult {
+            job: name,
+            analysis: "boundary".to_string(),
+            program: analysis.program().name().to_string(),
+            found,
+            total: 1,
+            best_value,
+            evals,
+        }
+    })
+}
+
+/// A job finding *any* boundary value of `program`.
+fn boundary_any_job<P>(name: String, program: P) -> CampaignJob
+where
+    P: fp_runtime::Analyzable + 'static,
+{
+    CampaignJob::new(name.clone(), move |config| {
+        let analysis = BoundaryAnalysis::new(program);
+        let (found, best_value, evals) = match analysis.find_any(config) {
+            Outcome::Found { evals, .. } => (1, 0.0, evals),
+            Outcome::NotFound {
+                best_value, evals, ..
+            } => (0, finite(best_value), evals),
+        };
+        JobResult {
+            job: name,
+            analysis: "boundary".to_string(),
+            program: analysis.program().name().to_string(),
+            found,
+            total: 1,
+            best_value,
+            evals,
+        }
+    })
+}
+
+/// A job running the Algorithm 3 overflow study of `program`.
+fn overflow_job<P>(name: String, program: P) -> CampaignJob
+where
+    P: fp_runtime::Analyzable + 'static,
+{
+    CampaignJob::new(name.clone(), move |config| {
+        let detector = OverflowDetector::new(program);
+        let report = detector.run(config);
+        JobResult {
+            job: name,
+            analysis: "overflow".to_string(),
+            program: detector.program().name().to_string(),
+            found: report.num_overflows(),
+            total: report.num_ops(),
+            best_value: 0.0,
+            evals: report.evals,
+        }
+    })
+}
+
+/// Builds the full GSL benchmark campaign: every boundary condition of the
+/// Glibc `sin` port, any-boundary analyses of the toy programs, and the
+/// overflow studies of the three Table 3 special functions.
+pub fn gsl_suite(config: &AnalysisConfig) -> Campaign {
+    use mini_gsl::airy::AiryAi;
+    use mini_gsl::bessel::BesselKnuScaled;
+    use mini_gsl::glibc_sin::{GlibcSin, K_THRESHOLDS};
+    use mini_gsl::hyperg::Hyperg2F0;
+    use mini_gsl::toy::{EqZeroProgram, Fig2Program};
+
+    let mut campaign = Campaign::new(config.clone());
+    campaign.push(boundary_any_job("boundary/fig2".to_string(), Fig2Program::new()));
+    campaign.push(boundary_any_job(
+        "boundary/eq_zero".to_string(),
+        EqZeroProgram::new(),
+    ));
+    for (i, threshold) in K_THRESHOLDS.iter().enumerate() {
+        campaign.push(boundary_condition_job(
+            format!("boundary/glibc_sin/k_lt_{threshold:#010x}"),
+            GlibcSin::new(),
+            fp_runtime::BranchId(i as u32),
+        ));
+    }
+    campaign.push(overflow_job(
+        "overflow/bessel_Knu_scaled_asympx_e".to_string(),
+        BesselKnuScaled::new(),
+    ));
+    campaign.push(overflow_job(
+        "overflow/gsl_sf_hyperg_2F0_e".to_string(),
+        Hyperg2F0::new(),
+    ));
+    campaign.push(overflow_job(
+        "overflow/gsl_sf_airy_Ai_e".to_string(),
+        AiryAi::new(),
+    ));
+    campaign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> AnalysisConfig {
+        AnalysisConfig::quick(3).with_rounds(1).with_max_evals(2_000)
+    }
+
+    #[test]
+    fn suite_has_the_expected_shape() {
+        let campaign = gsl_suite(&quick_config());
+        assert_eq!(campaign.len(), 10);
+        assert!(!campaign.is_empty());
+        let names = campaign.job_names();
+        assert!(names[0].starts_with("boundary/"));
+        assert!(names[9].starts_with("overflow/"));
+    }
+
+    #[test]
+    fn campaign_results_are_ordered_and_deterministic_across_threads() {
+        let one = gsl_suite(&quick_config()).run(1);
+        let four = gsl_suite(&quick_config()).run(4);
+        assert_eq!(one.jobs.len(), 10);
+        assert_eq!(one.deterministic_results(), four.deterministic_results());
+        assert_eq!(one.total_evals, four.total_evals);
+        // Jobs come back in submission order regardless of scheduling.
+        assert_eq!(one.jobs[0].result.job, "boundary/fig2");
+        assert!(one.jobs_fully_solved >= 1);
+    }
+
+    #[test]
+    fn campaign_report_serializes() {
+        let mut campaign = Campaign::new(quick_config());
+        campaign.push(boundary_any_job(
+            "boundary/fig2".to_string(),
+            mini_gsl::toy::Fig2Program::new(),
+        ));
+        let report = campaign.run(2);
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        assert!(json.contains("boundary/fig2"));
+        assert!(json.contains("total_evals"));
+    }
+
+    #[test]
+    fn empty_campaign_runs() {
+        let report = Campaign::new(quick_config()).run(3);
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.total_evals, 0);
+    }
+}

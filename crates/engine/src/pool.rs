@@ -1,0 +1,167 @@
+//! A std-only worker pool: fixed threads draining a shared job queue.
+//!
+//! The build environment is offline (no rayon/crossbeam), so the pool is
+//! built from `std::sync` primitives only: a `Mutex<VecDeque>` of boxed
+//! jobs and a `Condvar` to park idle workers. That is entirely adequate
+//! here — weak-distance jobs run for milliseconds to seconds, so queue
+//! contention is unmeasurable.
+//!
+//! This is the persistent-pool shape used by campaign mode. The one-shot
+//! sibling — "run `n` indexed jobs over `k` threads, results in index
+//! order" — is [`wdm_mo::scoped_map`], shared by every parallel path in
+//! the workspace and re-exported from this crate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads executing submitted jobs in FIFO
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use wdm_engine::WorkerPool;
+///
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let pool = WorkerPool::new(4);
+/// for _ in 0..100 {
+///     let done = Arc::clone(&done);
+///     pool.submit(move || {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins the workers after the queue drains
+/// assert_eq!(done.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("wdm-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some idle worker picks it up.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.queue.state.lock().expect("pool queue lock");
+            state.jobs.push_back(Box::new(job));
+        }
+        self.queue.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Graceful shutdown: every already-queued job still runs, then the
+    /// workers exit and are joined.
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().expect("pool queue lock");
+            state.shutdown = true;
+        }
+        self.queue.available.notify_all();
+        for worker in self.workers.drain(..) {
+            // A panicking job poisons nothing (jobs run outside the lock);
+            // propagate the panic to the caller on join, as thread::scope
+            // would.
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = queue.available.wait(state).expect("pool queue wait");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_submitted_job() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4);
+        for _ in 0..200 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn pool_clamps_zero_threads_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        pool.submit(move || {
+            f.store(7, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(flag.load(Ordering::Relaxed), 7);
+    }
+
+}

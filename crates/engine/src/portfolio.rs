@@ -1,0 +1,50 @@
+//! Portfolio-mode conveniences on top of the core driver's racer.
+//!
+//! The paper treats the MO backend as an interchangeable black box
+//! (Section 4.1) and compares three of them in Table 1 — which one wins
+//! depends on the weak distance's shape. Portfolio mode stops choosing:
+//! run them all, keep the first solution, cancel the rest.
+
+pub use wdm_core::driver::{minimize_weak_distance_portfolio, PortfolioEntry, PortfolioRun};
+use wdm_core::{AnalysisConfig, BackendKind, WeakDistance};
+
+/// Races every [`BackendKind`] on `wd` with first-hit cancellation.
+///
+/// # Example
+///
+/// ```
+/// use fp_runtime::Interval;
+/// use wdm_core::weak_distance::FnWeakDistance;
+/// use wdm_core::AnalysisConfig;
+///
+/// let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+///     (x[0] - 4.0).abs()
+/// });
+/// let run = wdm_engine::race_all(&wd, &AnalysisConfig::quick(1).with_rounds(2));
+/// assert!(run.outcome().is_found());
+/// ```
+pub fn race_all(wd: &dyn WeakDistance, config: &AnalysisConfig) -> PortfolioRun {
+    minimize_weak_distance_portfolio(wd, config, &BackendKind::all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_runtime::Interval;
+    use wdm_core::weak_distance::FnWeakDistance;
+
+    #[test]
+    fn race_all_runs_every_backend() {
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(10.0)], |x: &[f64]| {
+            (x[0] - 1.0).abs()
+        });
+        let run = race_all(&wd, &AnalysisConfig::quick(5).with_rounds(1).with_max_evals(5_000));
+        assert_eq!(run.entries.len(), BackendKind::all().len());
+        assert!(run.outcome().is_found());
+        // Losing backends were either cancelled or finished on their own;
+        // every entry still carries a well-formed result.
+        for entry in &run.entries {
+            assert!(entry.run.outcome.evals() <= 5 * 5_000 + 10_000);
+        }
+    }
+}

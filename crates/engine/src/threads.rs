@@ -1,0 +1,30 @@
+//! Thread-count selection.
+
+/// Picks a worker count: the `WDM_THREADS` environment variable when set to
+/// a positive integer, otherwise the machine's available parallelism
+/// (falling back to 1 when that is unknown).
+///
+/// Determinism note: thread count never changes analysis results (see the
+/// driver docs), so this is purely a throughput knob.
+pub fn suggested_parallelism() -> usize {
+    std::env::var("WDM_THREADS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&threads| threads > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|threads| threads.get())
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggested_parallelism_is_positive() {
+        // Whatever the environment says, the answer is a usable count.
+        assert!(suggested_parallelism() >= 1);
+    }
+}

@@ -191,6 +191,7 @@ impl BasinHopping {
                     bounds: problem.bounds.clone(),
                     target: problem.target,
                     max_evals: problem.max_evals,
+                    cancel: problem.cancel.clone(),
                 };
                 let mut ev = Evaluator::new(&capped, sink);
                 let v = ev.eval(x0);
@@ -207,6 +208,9 @@ impl GlobalMinimizer for BasinHopping {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let mut rng = crate::rng_from_seed(seed);
         let mut total_evals = 0usize;
 
@@ -223,6 +227,10 @@ impl GlobalMinimizer for BasinHopping {
             termination = Termination::TargetReached;
         } else {
             for _ in 0..self.n_hops {
+                if problem.is_cancelled() {
+                    termination = Termination::Cancelled;
+                    break;
+                }
                 if total_evals >= problem.max_evals {
                     termination = Termination::BudgetExhausted;
                     break;

@@ -72,6 +72,9 @@ impl GlobalMinimizer for DifferentialEvolution {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let dim = problem.objective.dim();
         let np = self.effective_population(dim);
         let mut rng = crate::rng_from_seed(seed);
@@ -93,11 +96,7 @@ impl GlobalMinimizer for DifferentialEvolution {
         let mut termination = Termination::IterationsCompleted;
         'outer: for _gen in 0..self.max_generations {
             if ev.should_stop() {
-                termination = if ev.target_hit() {
-                    Termination::TargetReached
-                } else {
-                    Termination::BudgetExhausted
-                };
+                termination = ev.termination(Termination::IterationsCompleted);
                 break;
             }
             for i in 0..np {
@@ -126,11 +125,7 @@ impl GlobalMinimizer for DifferentialEvolution {
                     values[i] = trial_value;
                 }
                 if ev.should_stop() {
-                    termination = if ev.target_hit() {
-                        Termination::TargetReached
-                    } else {
-                        Termination::BudgetExhausted
-                    };
+                    termination = ev.termination(Termination::IterationsCompleted);
                     break 'outer;
                 }
             }

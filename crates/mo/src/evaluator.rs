@@ -1,6 +1,7 @@
 //! Internal bookkeeping shared by all backends: evaluation counting, best
 //! tracking, sample recording and target/budget stopping.
 
+use crate::result::Termination;
 use crate::sampling::SampleSink;
 use crate::{better, Problem};
 
@@ -12,6 +13,7 @@ pub(crate) struct Evaluator<'a, 'b> {
     max_evals: usize,
     best_x: Vec<f64>,
     best_value: f64,
+    has_best: bool,
     target_hit: bool,
 }
 
@@ -24,6 +26,7 @@ impl<'a, 'b> Evaluator<'a, 'b> {
             max_evals: problem.max_evals,
             best_x: vec![f64::NAN; problem.objective.dim()],
             best_value: f64::INFINITY,
+            has_best: false,
             target_hit: false,
         }
     }
@@ -35,9 +38,10 @@ impl<'a, 'b> Evaluator<'a, 'b> {
         let value = self.problem.objective.eval(&clamped);
         self.sink.record(self.evals as u64, &clamped, value);
         self.evals += 1;
-        if better(value, self.best_value) || self.best_x[0].is_nan() {
+        if better(value, self.best_value) || !self.has_best {
             self.best_value = value;
             self.best_x = clamped;
+            self.has_best = true;
         }
         if self.problem.target_reached(value) {
             self.target_hit = true;
@@ -50,9 +54,30 @@ impl<'a, 'b> Evaluator<'a, 'b> {
         self.evals
     }
 
-    /// Whether the run must stop (target reached or budget exhausted).
+    /// Whether the run must stop (target reached, budget exhausted, or the
+    /// run was cancelled externally).
     pub(crate) fn should_stop(&self) -> bool {
-        self.target_hit || self.evals >= self.max_evals
+        self.target_hit || self.evals >= self.max_evals || self.problem.is_cancelled()
+    }
+
+    /// Whether the run was cancelled externally.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.problem.is_cancelled()
+    }
+
+    /// Classifies why a finished run stopped, falling back to `fallback`
+    /// when no stop condition fired (the algorithm converged or ran out of
+    /// iterations on its own).
+    pub(crate) fn termination(&self, fallback: Termination) -> Termination {
+        if self.target_hit {
+            Termination::TargetReached
+        } else if self.cancelled() {
+            Termination::Cancelled
+        } else if self.budget_exhausted() {
+            Termination::BudgetExhausted
+        } else {
+            fallback
+        }
     }
 
     /// Whether the target value has been reached.
@@ -108,6 +133,41 @@ mod tests {
         let mut ev = Evaluator::new(&p, &mut sink);
         // 100 is clamped to 1 before evaluation.
         assert_eq!(ev.eval(&[100.0]), 1.0);
+    }
+
+    #[test]
+    fn evaluator_keeps_first_point_even_when_nan() {
+        // A NaN first value must still install an incumbent (previously the
+        // `best_x[0].is_nan()` check did this; the flag must preserve it).
+        let f = FnObjective::new(1, |x: &[f64]| if x[0] < 0.5 { f64::NAN } else { x[0] });
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0));
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        ev.eval(&[0.0]);
+        let (x, v) = ev.best();
+        assert_eq!(x, vec![0.0]);
+        assert!(v.is_nan());
+        // A finite value replaces the NaN incumbent.
+        ev.eval(&[2.0]);
+        let (x, v) = ev.best();
+        assert_eq!(x, vec![2.0]);
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn evaluator_cancellation_stops_the_run() {
+        use crate::CancelToken;
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let token = CancelToken::new();
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0)).with_cancel(token.clone());
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        ev.eval(&[0.0]);
+        assert!(!ev.should_stop());
+        token.cancel();
+        assert!(ev.should_stop());
+        assert!(ev.cancelled());
+        assert_eq!(ev.termination(Termination::Converged), Termination::Cancelled);
     }
 
     #[test]

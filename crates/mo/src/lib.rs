@@ -40,11 +40,13 @@
 pub mod basinhopping;
 pub mod bounds;
 pub mod brent;
+pub mod cancel;
 pub mod diffevo;
 mod evaluator;
 pub mod multistart;
 pub mod nelder_mead;
 pub mod objective;
+pub mod parallel;
 pub mod powell;
 pub mod random_search;
 pub mod result;
@@ -54,10 +56,12 @@ pub mod ulp;
 
 pub use basinhopping::BasinHopping;
 pub use bounds::Bounds;
+pub use cancel::CancelToken;
 pub use diffevo::DifferentialEvolution;
 pub use multistart::MultiStart;
 pub use nelder_mead::NelderMead;
 pub use objective::{CountingObjective, FnObjective, Objective};
+pub use parallel::scoped_map;
 pub use powell::Powell;
 pub use random_search::RandomSearch;
 pub use result::{MinimizeResult, Termination};
@@ -78,6 +82,9 @@ pub struct Problem<'a> {
     pub target: Option<f64>,
     /// Hard cap on objective evaluations.
     pub max_evals: usize,
+    /// Cooperative cancellation, checked at every objective evaluation. The
+    /// parallel engine uses it to stop losing shards/backends early.
+    pub cancel: CancelToken,
 }
 
 impl<'a> Problem<'a> {
@@ -98,6 +105,7 @@ impl<'a> Problem<'a> {
             bounds,
             target: None,
             max_evals: 200_000,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -113,12 +121,23 @@ impl<'a> Problem<'a> {
         self
     }
 
+    /// Shares a cancellation token with this problem.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Returns `true` if `value` reaches the target.
     pub fn target_reached(&self, value: f64) -> bool {
         match self.target {
             Some(t) => value <= t,
             None => false,
         }
+    }
+
+    /// Returns `true` once the run has been cancelled externally.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 }
 
@@ -136,8 +155,10 @@ impl std::fmt::Debug for Problem<'_> {
 /// A global minimization backend.
 ///
 /// Backends are deterministic given the same `seed`, which the experiment
-/// harness relies on for reproducibility.
-pub trait GlobalMinimizer {
+/// harness relies on for reproducibility. Backends are stateless between
+/// runs (`Send + Sync`), so the parallel engine can share one instance
+/// across worker threads.
+pub trait GlobalMinimizer: Send + Sync {
     /// Minimizes the problem, recording every objective evaluation in `sink`.
     fn minimize(&self, problem: &Problem<'_>, seed: u64, sink: &mut dyn SampleSink)
         -> MinimizeResult;
@@ -162,6 +183,23 @@ pub trait LocalMinimizer {
 /// Creates the deterministic RNG used by every backend.
 pub(crate) fn rng_from_seed(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Rejects degenerate problems a backend cannot run (zero-dimensional
+/// objectives): sampling and simplex construction assume at least one
+/// coordinate, and the incumbent bookkeeping would otherwise index an empty
+/// point. Returns the clean `Termination::Invalid` result to report.
+pub(crate) fn reject_invalid(problem: &Problem<'_>) -> Option<MinimizeResult> {
+    if problem.objective.dim() == 0 {
+        Some(MinimizeResult::new(
+            Vec::new(),
+            f64::INFINITY,
+            0,
+            Termination::Invalid,
+        ))
+    } else {
+        None
+    }
 }
 
 /// Total-order comparison where NaN is worse than everything.

@@ -68,12 +68,19 @@ impl GlobalMinimizer for MultiStart {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let mut rng = crate::rng_from_seed(seed);
         let mut best: Option<MinimizeResult> = None;
         let mut total_evals = 0usize;
         let mut termination = Termination::IterationsCompleted;
 
         for _ in 0..self.n_starts {
+            if problem.is_cancelled() {
+                termination = Termination::Cancelled;
+                break;
+            }
             if total_evals >= problem.max_evals {
                 termination = Termination::BudgetExhausted;
                 break;

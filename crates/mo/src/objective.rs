@@ -1,10 +1,15 @@
 //! Objective-function abstraction.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An objective function over `R^dim` (executed, never analysed — the MO
 /// backends are black boxes in the sense of Section 4.1 of the paper).
-pub trait Objective {
+///
+/// Objectives are evaluated concurrently by the parallel engine (restart
+/// shards and portfolio backends share one objective), hence the
+/// `Send + Sync` bound: `eval` must be safe to call from several threads at
+/// once.
+pub trait Objective: Send + Sync {
     /// Input dimension `N`.
     fn dim(&self) -> usize;
 
@@ -32,7 +37,7 @@ pub struct FnObjective<F> {
 
 impl<F> FnObjective<F>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Send + Sync,
 {
     /// Wraps a closure of the given input dimension.
     pub fn new(dim: usize, f: F) -> Self {
@@ -42,7 +47,7 @@ where
 
 impl<F> Objective for FnObjective<F>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Send + Sync,
 {
     fn dim(&self) -> usize {
         self.dim
@@ -77,7 +82,7 @@ impl<F> std::fmt::Debug for FnObjective<F> {
 /// ```
 pub struct CountingObjective<'a> {
     inner: &'a dyn Objective,
-    count: Cell<u64>,
+    count: AtomicU64,
 }
 
 impl<'a> CountingObjective<'a> {
@@ -85,18 +90,18 @@ impl<'a> CountingObjective<'a> {
     pub fn new(inner: &'a dyn Objective) -> Self {
         CountingObjective {
             inner,
-            count: Cell::new(0),
+            count: AtomicU64::new(0),
         }
     }
 
     /// Number of evaluations performed through this wrapper.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Resets the evaluation counter.
     pub fn reset(&self) {
-        self.count.set(0);
+        self.count.store(0, Ordering::Relaxed);
     }
 }
 
@@ -106,7 +111,7 @@ impl Objective for CountingObjective<'_> {
     }
 
     fn eval(&self, x: &[f64]) -> f64 {
-        self.count.set(self.count.get() + 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.eval(x)
     }
 }
@@ -115,7 +120,7 @@ impl std::fmt::Debug for CountingObjective<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CountingObjective")
             .field("dim", &self.inner.dim())
-            .field("count", &self.count.get())
+            .field("count", &self.count())
             .finish()
     }
 }

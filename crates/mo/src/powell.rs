@@ -147,21 +147,19 @@ impl LocalMinimizer for Powell {
         max_evals: usize,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let capped = Problem {
             objective: problem.objective,
             bounds: problem.bounds.clone(),
             target: problem.target,
             max_evals: max_evals.min(problem.max_evals),
+            cancel: problem.cancel.clone(),
         };
         let mut ev = Evaluator::new(&capped, sink);
         let (x, value) = self.run(&mut ev, x0);
-        let termination = if ev.target_hit() {
-            Termination::TargetReached
-        } else if ev.budget_exhausted() {
-            Termination::BudgetExhausted
-        } else {
-            Termination::Converged
-        };
+        let termination = ev.termination(Termination::Converged);
         MinimizeResult::new(x, value, ev.evals(), termination)
     }
 }

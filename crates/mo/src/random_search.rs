@@ -38,6 +38,9 @@ impl GlobalMinimizer for RandomSearch {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let mut rng = crate::rng_from_seed(seed);
         let mut ev = Evaluator::new(problem, sink);
         let limit = if self.max_samples == 0 {
@@ -45,19 +48,14 @@ impl GlobalMinimizer for RandomSearch {
         } else {
             self.max_samples.min(problem.max_evals)
         };
-        let mut termination = Termination::IterationsCompleted;
         for _ in 0..limit {
             let x = problem.bounds.sample(&mut rng);
             ev.eval(&x);
             if ev.should_stop() {
-                termination = if ev.target_hit() {
-                    Termination::TargetReached
-                } else {
-                    Termination::BudgetExhausted
-                };
                 break;
             }
         }
+        let termination = ev.termination(Termination::IterationsCompleted);
         let (x, value) = ev.best();
         MinimizeResult::new(x, value, ev.evals(), termination)
     }

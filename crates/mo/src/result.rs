@@ -14,6 +14,12 @@ pub enum Termination {
     Converged,
     /// The configured number of iterations completed.
     IterationsCompleted,
+    /// The run was cancelled externally (portfolio race lost, campaign shut
+    /// down); the reported best is whatever was seen before the stop.
+    Cancelled,
+    /// The problem was rejected before any evaluation (e.g. a
+    /// zero-dimensional objective).
+    Invalid,
 }
 
 impl Termination {
@@ -30,6 +36,8 @@ impl fmt::Display for Termination {
             Termination::BudgetExhausted => "budget exhausted",
             Termination::Converged => "converged",
             Termination::IterationsCompleted => "iterations completed",
+            Termination::Cancelled => "cancelled",
+            Termination::Invalid => "invalid problem",
         };
         f.write_str(s)
     }

@@ -18,7 +18,12 @@ pub struct Sample {
 }
 
 /// Receives every objective evaluation a backend performs.
-pub trait SampleSink {
+///
+/// Sinks are `Send` so the parallel engine can give each worker thread its
+/// own trace and merge them deterministically afterwards (each individual
+/// sink is still driven from a single thread at a time, hence no `Sync`
+/// requirement).
+pub trait SampleSink: Send {
     /// Records one evaluation.
     fn record(&mut self, index: u64, x: &[f64], value: f64);
 }
@@ -95,6 +100,16 @@ impl SamplingTrace {
     /// Total number of samples offered to the trace (before subsampling).
     pub fn total_seen(&self) -> u64 {
         self.recorded_total
+    }
+
+    /// Appends every sample retained by `other` (and its seen-count) to this
+    /// trace, preserving order. The parallel driver records each restart
+    /// shard into its own trace and merges them in round order, which
+    /// reproduces exactly the trace a sequential run would have built
+    /// (sample indices restart at 0 every round in both cases).
+    pub fn append(&mut self, other: SamplingTrace) {
+        self.recorded_total += other.recorded_total;
+        self.samples.extend(other.samples);
     }
 
     /// The retained samples whose value is `<= threshold` (used to extract

@@ -119,11 +119,15 @@ impl LocalMinimizer for UlpSearch {
         max_evals: usize,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
+        if let Some(invalid) = crate::reject_invalid(problem) {
+            return invalid;
+        }
         let capped = Problem {
             objective: problem.objective,
             bounds: problem.bounds.clone(),
             target: problem.target,
             max_evals: max_evals.min(problem.max_evals),
+            cancel: problem.cancel.clone(),
         };
         let mut ev = Evaluator::new(&capped, sink);
         let mut x = capped.bounds.clamped(x0);
@@ -160,13 +164,7 @@ impl LocalMinimizer for UlpSearch {
 
         let (bx, bv) = ev.best();
         let (x, fx) = if crate::better(bv, fx) { (bx, bv) } else { (x, fx) };
-        let termination = if ev.target_hit() {
-            Termination::TargetReached
-        } else if ev.budget_exhausted() {
-            Termination::BudgetExhausted
-        } else {
-            Termination::Converged
-        };
+        let termination = ev.termination(Termination::Converged);
         MinimizeResult::new(x, fx, ev.evals(), termination)
     }
 }

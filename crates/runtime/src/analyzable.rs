@@ -19,7 +19,13 @@ use crate::recorder::Observer;
 /// for interpreted IR programs (`fpir`). Analyses never look at the program
 /// text; they only run it and observe events — exactly the black-box
 /// treatment the paper relies on.
-pub trait Analyzable {
+///
+/// Programs are executed concurrently by the parallel engine (restart
+/// shards, backend portfolios and campaign workers all run the same program
+/// at once), so `execute` must be callable from several threads — hence the
+/// `Send + Sync` bound. Per-execution state belongs in the [`Observer`],
+/// which each evaluation creates afresh.
+pub trait Analyzable: Send + Sync {
     /// A short human-readable name (used in reports).
     fn name(&self) -> &str;
 
@@ -113,7 +119,7 @@ pub struct ClosureProgram<F> {
 
 impl<F> ClosureProgram<F>
 where
-    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64>,
+    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64> + Send + Sync,
 {
     /// Creates a closure-backed program with the whole binary64 range as its
     /// default search domain and no declared sites.
@@ -158,7 +164,7 @@ where
 
 impl<F> Analyzable for ClosureProgram<F>
 where
-    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64>,
+    F: Fn(&[f64], &mut Ctx<'_>) -> Option<f64> + Send + Sync,
 {
     fn name(&self) -> &str {
         &self.name

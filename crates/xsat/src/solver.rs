@@ -1,10 +1,18 @@
 //! The satisfiability solver: minimize the CNF weak distance and verify the
 //! model.
+//!
+//! Solving is parallel at three levels, mirroring the execution engine:
+//! [`AnalysisConfig::parallelism`] shards the restart rounds of a single
+//! `solve` deterministically, [`Solver::solve_portfolio`] races several MO
+//! backends on one formula with first-hit cancellation, and [`solve_all`]
+//! spreads a batch of independent formulas over worker threads.
 
 use crate::ast::Cnf;
 use crate::distance::{CnfWeakDistance, DistanceMetric};
 use fp_runtime::Interval;
-use wdm_core::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
+use wdm_core::driver::{
+    minimize_weak_distance, minimize_weak_distance_portfolio, AnalysisConfig, BackendKind, Outcome,
+};
 use wdm_core::weak_distance::WeakDistance;
 
 /// The solver's answer.
@@ -69,13 +77,36 @@ impl Solver {
     }
 
     /// Solves the formula with the given driver configuration.
+    ///
+    /// With [`AnalysisConfig::parallelism`] > 1 the minimization rounds are
+    /// sharded across worker threads; the verdict is bit-identical for any
+    /// thread count.
     pub fn solve(&self, config: &AnalysisConfig) -> Verdict {
+        let wd = self.weak_distance();
+        let run = minimize_weak_distance(&wd, config);
+        self.verdict_of(&wd, run.outcome)
+    }
+
+    /// Solves the formula by racing several MO backends with first-hit
+    /// cancellation (portfolio mode). Fastest time-to-model, but which
+    /// backend wins — and hence the `Unknown` residual — is
+    /// timing-dependent; a returned model is always re-verified.
+    pub fn solve_portfolio(&self, config: &AnalysisConfig, backends: &[BackendKind]) -> Verdict {
+        let wd = self.weak_distance();
+        let race = minimize_weak_distance_portfolio(&wd, config, backends);
+        self.verdict_of(&wd, race.outcome())
+    }
+
+    fn weak_distance(&self) -> CnfWeakDistance {
         let mut wd = CnfWeakDistance::new(self.cnf.clone()).with_metric(self.metric);
         if let Some(domain) = &self.domain {
             wd = wd.with_domain(domain.clone());
         }
-        let run = minimize_weak_distance(&wd, config);
-        match run.outcome {
+        wd
+    }
+
+    fn verdict_of(&self, wd: &CnfWeakDistance, outcome: Outcome) -> Verdict {
+        match outcome {
             Outcome::Found { input, .. } => {
                 // Soundness check (Section 5.2 remark): re-evaluate the
                 // formula directly on the candidate model.
@@ -98,6 +129,18 @@ impl Solver {
             },
         }
     }
+}
+
+/// Solves a batch of independent formulas over `threads` worker threads,
+/// returning verdicts in input order.
+///
+/// Each solver runs sequentially with the same configuration (its restart
+/// stream depends only on the configuration, not on scheduling), so the
+/// returned verdicts are bit-identical for every `threads` value — batch
+/// parallelism is purely a throughput knob, exactly like the campaign mode
+/// of `wdm_engine`.
+pub fn solve_all(solvers: &[Solver], config: &AnalysisConfig, threads: usize) -> Vec<Verdict> {
+    wdm_mo::scoped_map(threads, solvers.len(), |i| solvers[i].solve(config))
 }
 
 #[cfg(test)]
@@ -189,6 +232,63 @@ mod tests {
             .solve(&quick());
         let model = verdict.model().expect("satisfiable");
         assert!(cnf.holds(model));
+    }
+
+    #[test]
+    fn parallel_shards_match_sequential_verdict() {
+        let cnf = Cnf::new(1).and(Clause::from(Atom::eq(
+            Expr::var(0) * Expr::var(0),
+            Expr::constant(9.0),
+        )));
+        let solver = Solver::new(cnf).with_domain(vec![Interval::symmetric(100.0)]);
+        let sequential = solver.solve(&AnalysisConfig::quick(8).with_rounds(4));
+        for threads in [2, 8] {
+            let parallel =
+                solver.solve(&AnalysisConfig::quick(8).with_rounds(4).with_parallelism(threads));
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn portfolio_solve_finds_and_verifies_a_model() {
+        let cnf = Cnf::new(1).and(Clause::from(Atom::eq(
+            Expr::var(0) + Expr::constant(2.0),
+            Expr::constant(6.0),
+        )));
+        let solver = Solver::new(cnf.clone()).with_domain(vec![Interval::symmetric(100.0)]);
+        let verdict = solver.solve_portfolio(
+            &AnalysisConfig::quick(4).with_rounds(2),
+            &wdm_core::BackendKind::all(),
+        );
+        let model = verdict.model().expect("satisfiable");
+        assert!(cnf.holds(model));
+    }
+
+    #[test]
+    fn solve_all_returns_verdicts_in_order_for_any_thread_count() {
+        let sat = Cnf::new(1).and(Clause::from(Atom::eq(
+            Expr::var(0),
+            Expr::constant(3.0),
+        )));
+        let unsat = Cnf::new(1).and(Clause::from(Atom::eq(
+            Expr::var(0) * Expr::var(0),
+            Expr::constant(-4.0),
+        )));
+        let solvers: Vec<Solver> = (0..6)
+            .map(|i| {
+                let cnf = if i % 2 == 0 { sat.clone() } else { unsat.clone() };
+                Solver::new(cnf).with_domain(vec![Interval::symmetric(50.0)])
+            })
+            .collect();
+        let config = AnalysisConfig::quick(2).with_rounds(2).with_max_evals(4_000);
+        let sequential = solve_all(&solvers, &config, 1);
+        for threads in [2, 4, 16] {
+            let parallel = solve_all(&solvers, &config, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        for (i, verdict) in sequential.iter().enumerate() {
+            assert_eq!(verdict.is_sat(), i % 2 == 0, "formula {i}");
+        }
     }
 
     #[test]

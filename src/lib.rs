@@ -16,7 +16,11 @@
 //! * [`core`] ([`wdm_core`]) — the weak-distance reduction theory and the
 //!   boundary-value / path-reachability / overflow / coverage analyses;
 //! * [`xsat`] ([`wdm_xsat`]) — quantifier-free floating-point
-//!   satisfiability on top of the same reduction.
+//!   satisfiability on top of the same reduction;
+//! * [`engine`] ([`wdm_engine`]) — the parallel execution engine: backend
+//!   portfolios with first-hit cancellation, deterministic restart
+//!   sharding, and campaign mode batching whole benchmark suites over a
+//!   worker pool.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `crates/bench` binaries for the scripts that regenerate every table and
@@ -42,5 +46,6 @@ pub use fp_runtime as runtime;
 pub use fpir as ir;
 pub use mini_gsl as gsl;
 pub use wdm_core as core;
+pub use wdm_engine as engine;
 pub use wdm_mo as mo;
 pub use wdm_xsat as xsat;
