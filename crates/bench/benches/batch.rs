@@ -1,0 +1,64 @@
+//! Criterion benches of the batched-evaluation stack: scalar `eval` loops
+//! vs `eval_batch` on an fpir-interpreted weak distance, and a whole
+//! Differential Evolution run (whose generations are evaluated as batches)
+//! over the same objective.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::weak_distance::{WeakDistance, WeakDistanceObjective};
+use wdm_mo::{Bounds, DifferentialEvolution, GlobalMinimizer, NoTrace, Problem};
+
+fn fig2_wd() -> impl WeakDistance {
+    BoundaryWeakDistance::new(
+        fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+            .expect("fig2 entry"),
+    )
+}
+
+fn bench_eval_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_eval");
+    let wd = fig2_wd();
+    let xs: Vec<Vec<f64>> = (0..1_024).map(|i| vec![i as f64 * 0.07 - 35.0]).collect();
+
+    group.bench_function("fpir_fig2/scalar_loop", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(xs.len());
+            for x in &xs {
+                out.push(wd.eval(x));
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("fpir_fig2/eval_batch", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            wd.eval_batch(&xs, &mut out);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_diffevo_generations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_diffevo");
+    group.sample_size(10);
+    let wd = fig2_wd();
+    let objective = WeakDistanceObjective::new(&wd);
+    let bounds = Bounds::symmetric(1, 100.0);
+
+    group.bench_function("fpir_fig2/de_batched_generations", |b| {
+        b.iter(|| {
+            let p = Problem::new(&objective, bounds.clone()).with_max_evals(2_000);
+            black_box(
+                DifferentialEvolution::default()
+                    .with_max_generations(40)
+                    .minimize(&p, 7, &mut NoTrace),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_batch, bench_diffevo_generations);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Measures the per-evaluation overhead saved by the batched-evaluation
+//! stack, and verifies that batching never changes results.
+//!
+//! Three workloads, each evaluated over the same point set twice — once
+//! through the scalar `eval` loop, once through `eval_batch` — asserting
+//! the values are bit-identical:
+//!
+//! * **fpir/fig2** and **fpir/fig1b** — boundary weak distances of
+//!   fpir-*interpreted* programs: the batch path runs the interpreter's
+//!   batch mode (register frames and globals buffers reused across the
+//!   batch), which is where batching pays most;
+//! * **gsl/glibc_sin** — the hand-instrumented Glibc `sin` port: no
+//!   interpreter, so the remaining gains come from the chunked evaluator
+//!   path alone (a lower bound for native programs);
+//! * **pooled/fig2** — the fpir fig2 batch spread over worker threads via
+//!   `wdm_engine::PooledObjective` (order-preserving, so still
+//!   bit-identical; wall-clock gains need real cores).
+//!
+//! Usage: `batch_speedup [--smoke] [--threads N] [--json <path>]`
+//! (`--smoke` shrinks the point count for CI; the JSON report is
+//! `BENCH_batch.json` when `--json` targets a directory).
+
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::weak_distance::{WeakDistance, WeakDistanceObjective};
+use wdm_engine::PooledObjective;
+use wdm_mo::Objective;
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    points: usize,
+    scalar_seconds: f64,
+    batch_seconds: f64,
+    speedup: f64,
+    scalar_ns_per_eval: f64,
+    batch_ns_per_eval: f64,
+    identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BatchReport {
+    smoke: bool,
+    threads: usize,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// A deterministic point grid over `[lo, hi]` (no RNG needed — we time
+/// evaluation, not search).
+fn grid(n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![lo + (hi - lo) * (i as f64 + 0.5) / n as f64])
+        .collect()
+}
+
+fn time_workload(
+    name: &str,
+    xs: &[Vec<f64>],
+    scalar: impl Fn(&[f64]) -> f64,
+    batch: impl Fn(&[Vec<f64>], &mut Vec<f64>),
+) -> WorkloadReport {
+    let started = Instant::now();
+    let scalar_values: Vec<f64> = xs.iter().map(|x| scalar(x)).collect();
+    let scalar_seconds = started.elapsed().as_secs_f64();
+
+    let mut batch_values = Vec::new();
+    let started = Instant::now();
+    batch(xs, &mut batch_values);
+    let batch_seconds = started.elapsed().as_secs_f64();
+
+    let identical = scalar_values.len() == batch_values.len()
+        && scalar_values
+            .iter()
+            .zip(&batch_values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let per_eval = |seconds: f64| seconds * 1.0e9 / xs.len().max(1) as f64;
+    WorkloadReport {
+        workload: name.to_string(),
+        points: xs.len(),
+        scalar_seconds,
+        batch_seconds,
+        speedup: scalar_seconds / batch_seconds.max(1e-12),
+        scalar_ns_per_eval: per_eval(scalar_seconds),
+        batch_ns_per_eval: per_eval(batch_seconds),
+        identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::env::var("WDM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4)
+        });
+    let n = if smoke { 20_000 } else { 400_000 };
+
+    println!(
+        "Batched-evaluation speedup experiment ({} mode, {n} points, {threads} workers)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let fig2 = BoundaryWeakDistance::new(
+        fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+            .expect("fig2 entry"),
+    );
+    let fig1b = BoundaryWeakDistance::new(
+        fpir::interp::ModuleProgram::new(fpir::programs::fig1b_program(), "prog")
+            .expect("fig1b entry"),
+    );
+    let glibc_sin = BoundaryWeakDistance::new(mini_gsl::glibc_sin::GlibcSin::new());
+
+    let xs = grid(n, -50.0, 50.0);
+    let mut workloads = vec![
+        time_workload(
+            "fpir/fig2",
+            &xs,
+            |x| fig2.eval(x),
+            |xs, out| fig2.eval_batch(xs, out),
+        ),
+        time_workload(
+            "fpir/fig1b",
+            &xs,
+            |x| fig1b.eval(x),
+            |xs, out| fig1b.eval_batch(xs, out),
+        ),
+        time_workload(
+            "gsl/glibc_sin",
+            &xs,
+            |x| glibc_sin.eval(x),
+            |xs, out| glibc_sin.eval_batch(xs, out),
+        ),
+    ];
+
+    let fig2_objective = WeakDistanceObjective::new(&fig2);
+    let pooled = PooledObjective::new(&fig2_objective, threads);
+    workloads.push(time_workload(
+        "pooled/fig2",
+        &xs,
+        |x| fig2_objective.eval(x),
+        |xs, out| pooled.eval_batch(xs, out),
+    ));
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>8}  identical",
+        "workload", "points", "scalar ns/e", "batch ns/e", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<16} {:>9} {:>12.1} {:>12.1} {:>7.2}x  {}",
+            w.workload,
+            w.points,
+            w.scalar_ns_per_eval,
+            w.batch_ns_per_eval,
+            w.speedup,
+            if w.identical { "yes" } else { "NO" }
+        );
+    }
+
+    let report = BatchReport {
+        smoke,
+        threads,
+        workloads,
+    };
+    wdm_bench::emit_json("batch", &report);
+
+    if report.workloads.iter().any(|w| !w.identical) {
+        eprintln!("error: batched values diverged from the scalar path");
+        std::process::exit(1);
+    }
+}

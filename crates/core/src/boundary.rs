@@ -111,6 +111,17 @@ impl<P: Analyzable> WeakDistance for BoundaryWeakDistance<P> {
         obs.w
     }
 
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        let mut session = self.program.batch_executor();
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            let mut obs = BoundaryObserver::new(self.mode);
+            session.execute_one(x, &mut obs);
+            out.push(obs.w);
+        }
+    }
+
     fn description(&self) -> String {
         format!("boundary weak distance of {} ({:?})", self.program.name(), self.mode)
     }
@@ -255,6 +266,40 @@ mod tests {
         let samples: Vec<Vec<f64>> = (-50..50).map(|i| vec![i as f64 * 0.31]).collect();
         let refs: Vec<&[f64]> = samples.iter().map(|v| v.as_slice()).collect();
         assert_eq!(wd.check_nonnegative(refs), None);
+    }
+
+    #[test]
+    fn batched_eval_matches_scalar_eval() {
+        let xs: Vec<Vec<f64>> = (-40..40).map(|i| vec![i as f64 * 0.17]).collect();
+        for mode in [
+            BoundaryMode::Product,
+            BoundaryMode::Single(fp_runtime::BranchId(1)),
+            BoundaryMode::Characteristic,
+            BoundaryMode::SquaredResidual,
+        ] {
+            let wd = BoundaryWeakDistance::new(Fig2Program::new()).with_mode(mode);
+            let mut out = Vec::new();
+            wd.eval_batch(&xs, &mut out);
+            assert_eq!(out.len(), xs.len());
+            for (x, &batched) in xs.iter().zip(&out) {
+                assert_eq!(batched.to_bits(), wd.eval(x).to_bits(), "{mode:?} at {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_eval_matches_scalar_eval_for_interpreted_programs() {
+        // The fpir ModuleProgram overrides batch_executor with a reusable
+        // interpreter session; the weak distance values must not change.
+        let program = fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+            .expect("entry exists");
+        let wd = BoundaryWeakDistance::new(program);
+        let xs: Vec<Vec<f64>> = (-60..60).map(|i| vec![i as f64 * 0.13]).collect();
+        let mut out = Vec::new();
+        wd.eval_batch(&xs, &mut out);
+        for (x, &batched) in xs.iter().zip(&out) {
+            assert_eq!(batched.to_bits(), wd.eval(x).to_bits(), "at {x:?}");
+        }
     }
 
     #[test]

@@ -73,6 +73,20 @@ impl<P: Analyzable> WeakDistance for CoverageWeakDistance<P> {
         obs.w
     }
 
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        let mut session = self.program.batch_executor();
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            let mut obs = CoverageObserver {
+                covered: &self.covered,
+                w: UNREACHED_PENALTY,
+            };
+            session.execute_one(x, &mut obs);
+            out.push(obs.w);
+        }
+    }
+
     fn description(&self) -> String {
         format!(
             "coverage weak distance of {} ({} pairs covered)",

@@ -19,6 +19,17 @@
 //!   their [`CancelToken`]s (their results are discarded by the merge, so
 //!   cancelling them cannot change the outcome — it only saves work).
 //!
+//! # Batched evaluation
+//!
+//! The driver hands the weak distance to the backends through
+//! [`WeakDistanceObjective`], whose `eval_batch` forwards to
+//! [`WeakDistance::eval_batch`]: population backends (Differential
+//! Evolution evaluates each generation as one batch, random search each
+//! sampling chunk) therefore reach the analysis instances' batched program
+//! sessions — and the `fpir` interpreter's batch-interpret mode — without
+//! any driver-level plumbing. Batching never changes results: every batch
+//! path in the stack is bit-identical to its scalar loop.
+//!
 //! # Portfolio mode
 //!
 //! [`minimize_weak_distance_portfolio`] races several [`BackendKind`]s on

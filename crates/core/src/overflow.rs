@@ -85,6 +85,22 @@ impl<P: Analyzable> WeakDistance for OverflowWeakDistance<P> {
         self.eval_detailed(x).0
     }
 
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        let mut session = self.program.batch_executor();
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            let mut obs = OverflowObserver {
+                skip: &self.skip,
+                w: NO_TRACKED_OP,
+                last_tracked: None,
+                overflowed_at: None,
+            };
+            session.execute_one(x, &mut obs);
+            out.push(obs.w);
+        }
+    }
+
     fn description(&self) -> String {
         format!(
             "overflow weak distance of {} ({} handled sites)",

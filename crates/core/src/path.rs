@@ -71,6 +71,23 @@ impl<P: Analyzable> WeakDistance for PathWeakDistance<P> {
         obs.w + missing as f64 * UNREACHED_PENALTY
     }
 
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        let mut session = self.program.batch_executor();
+        let required: BTreeSet<BranchId> = self.path.iter().map(|(s, _)| *s).collect();
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            let mut obs = PathObserver {
+                path: &self.path,
+                w: 0.0,
+                reached: BTreeSet::new(),
+            };
+            session.execute_one(x, &mut obs);
+            let missing = required.difference(&obs.reached).count();
+            out.push(obs.w + missing as f64 * UNREACHED_PENALTY);
+        }
+    }
+
     fn description(&self) -> String {
         format!(
             "path weak distance of {} over {} required branches",

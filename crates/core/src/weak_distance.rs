@@ -30,6 +30,24 @@ pub trait WeakDistance: Send + Sync {
     /// Evaluates the weak distance at `x`.
     fn eval(&self, x: &[f64]) -> f64;
 
+    /// Evaluates the weak distance at every point of `xs`, replacing the
+    /// contents of `out` with one value per point (in order).
+    ///
+    /// The default is a scalar loop over [`WeakDistance::eval`]; the
+    /// analysis instances override it to run the whole batch through one
+    /// [`fp_runtime::BatchExecutor`] of the program under analysis, which
+    /// amortizes per-execution setup (the `fpir` interpreter reuses its
+    /// register frames and globals buffer across the batch). Overrides must
+    /// return **bit-identical** values to the scalar loop — each input
+    /// still gets its own fresh observer.
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            out.push(self.eval(x));
+        }
+    }
+
     /// A short description for reports.
     fn description(&self) -> String {
         "weak distance".to_string()
@@ -84,6 +102,10 @@ impl Objective for WeakDistanceObjective<'_> {
 
     fn eval(&self, x: &[f64]) -> f64 {
         self.inner.eval(x)
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        self.inner.eval_batch(xs, out);
     }
 }
 
@@ -196,5 +218,19 @@ mod tests {
         assert_eq!(Objective::dim(&obj), 1);
         assert_eq!(Objective::eval(&obj, &[2.0]), 0.0);
         assert_eq!(obj.bounds().limit(0), (-10.0, 10.0));
+    }
+
+    #[test]
+    fn default_eval_batch_and_adapter_forwarding_match_scalar() {
+        let wd = abs_wd();
+        let xs: Vec<Vec<f64>> = (0..33).map(|i| vec![i as f64 * 0.3 - 5.0]).collect();
+        let mut direct = Vec::new();
+        wd.eval_batch(&xs, &mut direct);
+        let obj = WeakDistanceObjective::new(&wd);
+        let mut via_adapter = vec![f64::NAN]; // stale contents must be replaced
+        Objective::eval_batch(&obj, &xs, &mut via_adapter);
+        let scalar: Vec<f64> = xs.iter().map(|x| wd.eval(x)).collect();
+        assert_eq!(direct, scalar);
+        assert_eq!(via_adapter, scalar);
     }
 }

@@ -1,0 +1,177 @@
+//! Pooled batched evaluation: fan one `eval_batch` call out over worker
+//! threads.
+//!
+//! The batched-evaluation seam ([`Objective::eval_batch`]) hands whole
+//! candidate groups — a Differential Evolution generation, a random-search
+//! chunk — to the objective in one call. [`PooledObjective`] splits such a
+//! batch into contiguous slices, evaluates the slices on scoped worker
+//! threads, and reassembles the values in input order. Because each value
+//! depends only on its own input point, the result is **bit-identical** to
+//! the scalar path for every thread count — the same guarantee the
+//! engine's restart sharding gives, extended to the inside of a single
+//! backend run.
+//!
+//! This is the engine-level plug for the batch seam: the campaign runner
+//! (or any caller) wraps an expensive objective in a [`PooledObjective`]
+//! before building the [`Problem`](wdm_mo::Problem), and every generation
+//! the population backends evaluate then spreads across the pool.
+
+use wdm_mo::{scoped_map, Objective};
+
+/// Minimum number of points a worker slice should carry; below this, the
+/// spawn overhead outweighs the work and the batch is evaluated inline.
+const MIN_SLICE: usize = 8;
+
+/// An [`Objective`] adapter that evaluates batches on a pool of scoped
+/// worker threads, preserving input order (and therefore bit-identical
+/// results at any thread count).
+///
+/// # Example
+///
+/// ```
+/// use wdm_engine::PooledObjective;
+/// use wdm_mo::{FnObjective, Objective};
+///
+/// let slow = FnObjective::new(1, |x: &[f64]| x[0].sin().abs());
+/// let pooled = PooledObjective::new(&slow, 4);
+/// let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+/// let mut par = Vec::new();
+/// pooled.eval_batch(&xs, &mut par);
+/// let mut seq = Vec::new();
+/// slow.eval_batch(&xs, &mut seq);
+/// assert_eq!(par, seq);
+/// ```
+pub struct PooledObjective<'a> {
+    inner: &'a dyn Objective,
+    threads: usize,
+}
+
+impl<'a> PooledObjective<'a> {
+    /// Wraps `inner`, spreading each batch over up to `threads` workers
+    /// (`<= 1` evaluates inline).
+    pub fn new(inner: &'a dyn Objective, threads: usize) -> Self {
+        PooledObjective {
+            inner,
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Objective for PooledObjective<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.inner.eval(x)
+    }
+
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        // One contiguous slice per worker; slices smaller than MIN_SLICE
+        // are not worth a thread.
+        let slices = self
+            .threads
+            .min(xs.len() / MIN_SLICE.max(1))
+            .max(1);
+        if slices <= 1 {
+            self.inner.eval_batch(xs, out);
+            return;
+        }
+        let per_slice = xs.len().div_ceil(slices);
+        let parts: Vec<Vec<f64>> = scoped_map(slices, slices, |i| {
+            let start = i * per_slice;
+            let end = (start + per_slice).min(xs.len());
+            let mut values = Vec::new();
+            if start < end {
+                self.inner.eval_batch(&xs[start..end], &mut values);
+            }
+            values
+        });
+        out.clear();
+        out.reserve(xs.len());
+        for part in parts {
+            out.extend(part);
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledObjective<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledObjective")
+            .field("dim", &self.inner.dim())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_mo::{
+        Bounds, DifferentialEvolution, FnObjective, GlobalMinimizer, NoTrace, Problem,
+        SamplingTrace,
+    };
+
+    fn rastriginish(x: &[f64]) -> f64 {
+        x.iter()
+            .map(|&v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos() + 10.0)
+            .sum()
+    }
+
+    #[test]
+    fn pooled_batches_match_sequential_for_every_thread_count() {
+        let f = FnObjective::new(2, rastriginish);
+        let xs: Vec<Vec<f64>> = (0..203)
+            .map(|i| vec![(i as f64) * 0.05 - 5.0, (i as f64) * -0.03 + 3.0])
+            .collect();
+        let mut expected = Vec::new();
+        f.eval_batch(&xs, &mut expected);
+        for threads in [1, 2, 3, 8, 64] {
+            let pooled = PooledObjective::new(&f, threads);
+            let mut out = Vec::new();
+            pooled.eval_batch(&xs, &mut out);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_batches_run_inline() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0] + 1.0);
+        let pooled = PooledObjective::new(&f, 8);
+        let xs = vec![vec![1.0], vec![2.0]];
+        let mut out = Vec::new();
+        pooled.eval_batch(&xs, &mut out);
+        assert_eq!(out, vec![2.0, 3.0]);
+        assert_eq!(pooled.eval(&[5.0]), 6.0);
+        assert_eq!(pooled.dim(), 1);
+    }
+
+    #[test]
+    fn diffevo_over_a_pooled_objective_is_thread_count_invariant() {
+        // A whole backend run through the pooled objective: generation
+        // batches spread over workers, results bit-identical to 1 thread.
+        let f = FnObjective::new(2, rastriginish);
+        let run = |threads: usize| {
+            let pooled = PooledObjective::new(&f, threads);
+            let p = Problem::new(&pooled, Bounds::symmetric(2, 5.12)).with_max_evals(4_000);
+            let mut trace = SamplingTrace::new();
+            let r = DifferentialEvolution::default()
+                .with_max_generations(30)
+                .minimize(&p, 11, &mut trace);
+            (r, trace.samples().to_vec())
+        };
+        let (r1, t1) = run(1);
+        for threads in [2, 8] {
+            let (rn, tn) = run(threads);
+            assert_eq!(rn.x, r1.x, "threads = {threads}");
+            assert_eq!(rn.value.to_bits(), r1.value.to_bits(), "threads = {threads}");
+            assert_eq!(rn.evals, r1.evals, "threads = {threads}");
+            assert_eq!(tn, t1, "threads = {threads}");
+        }
+        let _ = DifferentialEvolution::default().minimize(
+            &Problem::new(&f, Bounds::symmetric(2, 5.12)).with_max_evals(100),
+            11,
+            &mut NoTrace,
+        );
+    }
+}

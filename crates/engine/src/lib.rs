@@ -17,6 +17,11 @@
 //! 3. **Campaign mode** ([`Campaign`], [`gsl_suite`]) — a job queue over a
 //!    [`WorkerPool`] that batches whole benchmark suites and reduces the
 //!    results into a single JSON report.
+//! 4. **Pooled batch evaluation** ([`PooledObjective`]) — the
+//!    batched-evaluation seam (`Objective::eval_batch`) spread over scoped
+//!    workers: a Differential Evolution generation or random-search chunk
+//!    is split into contiguous slices, evaluated in parallel and
+//!    reassembled in input order, bit-identical at any thread count.
 //!
 //! Levels 1–2 live in `wdm_core::driver` (they need nothing but scoped
 //! threads) and are re-exported here; this crate adds the pool, the
@@ -40,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod campaign;
 pub mod pool;
 pub mod portfolio;
 pub mod threads;
 
+pub use batch::PooledObjective;
 pub use campaign::{gsl_suite, Campaign, CampaignJob, CampaignReport, JobReport, JobResult};
 pub use pool::WorkerPool;
 pub use portfolio::{minimize_weak_distance_portfolio, race_all, PortfolioEntry, PortfolioRun};

@@ -1,8 +1,34 @@
 //! The IR interpreter and its [`Analyzable`] adapter.
+//!
+//! # Batch interpretation
+//!
+//! Interpreting one input pays a fixed setup cost — allocating a register
+//! frame, materializing the module's global variables, looking up the entry
+//! function. [`Interpreter::execute_batch`] and the [`BatchExecutor`]
+//! returned by [`ModuleProgram`]'s [`Analyzable::batch_executor`] pay that
+//! cost once and run N inputs over the decoded program, reusing register
+//! frames (a per-state frame pool also serves recursive calls) and the
+//! globals buffer. Results and reported events are bit-identical to
+//! interpreting each input on its own.
+//!
+//! # Cancellation
+//!
+//! The interpreter polls a [`CancelToken`] every
+//! [`CANCEL_POLL_INTERVAL`] executed instructions, so a long-running
+//! interpreted program stops promptly when the parallel engine cancels a
+//! losing portfolio backend — instead of ignoring the token until the next
+//! evaluation boundary. A cancelled execution returns
+//! [`ExecError::Cancelled`].
 
 use crate::ir::{FuncId, Inst, Module, Terminator};
-use fp_runtime::{Analyzable, BranchSite, Ctx, Interval, OpSite};
+use fp_runtime::{Analyzable, BatchExecutor, BranchSite, CancelToken, Ctx, Interval, Observer, OpSite};
 use std::fmt;
+
+/// How often (in executed instructions) the interpreter polls its
+/// [`CancelToken`]. Polling is a relaxed atomic load; every 256
+/// instructions keeps the overhead unmeasurable while bounding the
+/// response latency to cancellation.
+pub const CANCEL_POLL_INTERVAL: u64 = 256;
 
 /// Errors raised while interpreting a module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +46,8 @@ pub enum ExecError {
         /// Provided number of arguments.
         got: usize,
     },
+    /// The execution's [`CancelToken`] was cancelled mid-interpretation.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -31,6 +59,7 @@ impl fmt::Display for ExecError {
             ExecError::ArityMismatch { expected, got } => {
                 write!(f, "expected {expected} arguments, got {got}")
             }
+            ExecError::Cancelled => write!(f, "execution was cancelled"),
         }
     }
 }
@@ -39,13 +68,16 @@ impl std::error::Error for ExecError {}
 
 /// Interprets IR modules, reporting instrumented operations and branches as
 /// [`fp_runtime`] events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Interpreter {
     /// Maximum number of instructions executed per call to
     /// [`Interpreter::execute`] (guards against non-terminating loops).
     pub fuel: u64,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Cooperative cancellation, polled every [`CANCEL_POLL_INTERVAL`]
+    /// instructions. The default token is never cancelled.
+    pub cancel: CancelToken,
 }
 
 impl Default for Interpreter {
@@ -53,6 +85,7 @@ impl Default for Interpreter {
         Interpreter {
             fuel: 2_000_000,
             max_call_depth: 64,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -62,6 +95,55 @@ struct ExecState<'a> {
     fuel: u64,
     max_depth: usize,
     module: &'a Module,
+    cancel: &'a CancelToken,
+    /// Retired register frames, reused by later calls (and later batch
+    /// inputs) instead of allocating a fresh `Vec` per frame.
+    frames: Vec<Vec<f64>>,
+}
+
+impl<'a> ExecState<'a> {
+    fn new(interpreter: &'a Interpreter, module: &'a Module) -> Self {
+        ExecState {
+            globals: module.globals.iter().map(|g| g.init).collect(),
+            fuel: interpreter.fuel,
+            max_depth: interpreter.max_call_depth,
+            module,
+            cancel: &interpreter.cancel,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Rearms the state for the next input of a batch: fresh fuel, globals
+    /// back to their initial values. Pooled frames stay pooled.
+    fn reset(&mut self, interpreter: &Interpreter) {
+        self.fuel = interpreter.fuel;
+        self.globals.clear();
+        self.globals.extend(self.module.globals.iter().map(|g| g.init));
+    }
+
+    /// Charges one instruction: fuel accounting plus the periodic
+    /// cancellation poll.
+    fn tick(&mut self) -> Result<(), ExecError> {
+        if self.fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        if self.fuel.is_multiple_of(CANCEL_POLL_INTERVAL) && self.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        Ok(())
+    }
+
+    fn take_frame(&mut self, num_regs: usize) -> Vec<f64> {
+        let mut frame = self.frames.pop().unwrap_or_default();
+        frame.clear();
+        frame.resize(num_regs, 0.0);
+        frame
+    }
+
+    fn put_frame(&mut self, frame: Vec<f64>) {
+        self.frames.push(frame);
+    }
 }
 
 impl Interpreter {
@@ -76,6 +158,15 @@ impl Interpreter {
         self
     }
 
+    /// Shares a cancellation token with this interpreter: once the token
+    /// (or an ancestor) is cancelled, in-flight executions stop within
+    /// [`CANCEL_POLL_INTERVAL`] instructions and report
+    /// [`ExecError::Cancelled`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Executes `func` of `module` on `args`.
     ///
     /// Returns the function's return value (`None` for a `ret` without
@@ -83,8 +174,8 @@ impl Interpreter {
     ///
     /// # Errors
     ///
-    /// Returns an [`ExecError`] on arity mismatch, fuel exhaustion or call
-    /// stack overflow.
+    /// Returns an [`ExecError`] on arity mismatch, fuel exhaustion, call
+    /// stack overflow or cancellation.
     pub fn execute(
         &self,
         module: &Module,
@@ -99,12 +190,7 @@ impl Interpreter {
                 got: args.len(),
             });
         }
-        let mut state = ExecState {
-            globals: module.globals.iter().map(|g| g.init).collect(),
-            fuel: self.fuel,
-            max_depth: self.max_call_depth,
-            module,
-        };
+        let mut state = ExecState::new(self, module);
         Self::exec_function(&mut state, func, args, ctx, 0)
     }
 
@@ -128,14 +214,43 @@ impl Interpreter {
                 got: args.len(),
             });
         }
-        let mut state = ExecState {
-            globals: module.globals.iter().map(|g| g.init).collect(),
-            fuel: self.fuel,
-            max_depth: self.max_call_depth,
-            module,
-        };
+        let mut state = ExecState::new(self, module);
         let ret = Self::exec_function(&mut state, func, args, ctx, 0)?;
         Ok((ret, state.globals))
+    }
+
+    /// Batch-interpret mode: sets the program up once (entry lookup,
+    /// globals buffer, register-frame pool) and runs every input of
+    /// `inputs` over it, giving each input a fresh probe context over
+    /// `observer` and its full fuel budget. Results and reported events are
+    /// bit-identical to calling [`Interpreter::execute`] once per input.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first input whose execution fails, propagating its
+    /// [`ExecError`].
+    pub fn execute_batch(
+        &self,
+        module: &Module,
+        func: FuncId,
+        inputs: &[Vec<f64>],
+        observer: &mut dyn Observer,
+    ) -> Result<Vec<Option<f64>>, ExecError> {
+        let function = module.function(func);
+        let mut state = ExecState::new(self, module);
+        let mut results = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            if input.len() != function.num_params {
+                return Err(ExecError::ArityMismatch {
+                    expected: function.num_params,
+                    got: input.len(),
+                });
+            }
+            state.reset(self);
+            let mut ctx = Ctx::new(observer);
+            results.push(Self::exec_function(&mut state, func, input, &mut ctx, 0)?);
+        }
+        Ok(results)
     }
 
     fn exec_function(
@@ -149,15 +264,26 @@ impl Interpreter {
             return Err(ExecError::CallDepthExceeded);
         }
         let function = state.module.function(func);
-        let mut regs = vec![0.0f64; function.num_regs];
+        let mut regs = state.take_frame(function.num_regs);
+        let result = Self::exec_in_frame(state, func, &mut regs, args, ctx, depth);
+        state.put_frame(regs);
+        result
+    }
+
+    fn exec_in_frame(
+        state: &mut ExecState<'_>,
+        func: FuncId,
+        regs: &mut [f64],
+        args: &[f64],
+        ctx: &mut Ctx<'_>,
+        depth: usize,
+    ) -> Result<Option<f64>, ExecError> {
+        let function = state.module.function(func);
         let mut block = function.entry();
         loop {
             let b = function.block(block);
             for inst in &b.insts {
-                if state.fuel == 0 {
-                    return Err(ExecError::OutOfFuel);
-                }
-                state.fuel -= 1;
+                state.tick()?;
                 if ctx.stopped() {
                     return Ok(None);
                 }
@@ -216,10 +342,7 @@ impl Interpreter {
                     Inst::StoreGlobal { global, src } => state.globals[global.0] = regs[src.0],
                 }
             }
-            if state.fuel == 0 {
-                return Err(ExecError::OutOfFuel);
-            }
-            state.fuel -= 1;
+            state.tick()?;
             match &b.term {
                 Terminator::Jump(next) => block = *next,
                 Terminator::CondBr {
@@ -296,6 +419,14 @@ impl ModuleProgram {
         self
     }
 
+    /// Shares a cancellation token with the program's interpreter (see
+    /// [`Interpreter::with_cancel`]); a cancelled execution reports no
+    /// result, exactly like an observer-initiated stop.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.interpreter.cancel = cancel;
+        self
+    }
+
     /// The underlying module.
     pub fn module(&self) -> &Module {
         &self.module
@@ -319,6 +450,28 @@ impl ModuleProgram {
         let mut ctx = Ctx::new(observer);
         self.interpreter
             .execute_with_globals(&self.module, self.entry, input, &mut ctx)
+    }
+}
+
+/// The batch-interpret session handed out by [`ModuleProgram`]'s
+/// [`Analyzable::batch_executor`]: one [`ExecState`] (globals buffer +
+/// register-frame pool) reused across every input of the batch.
+struct InterpSession<'a> {
+    program: &'a ModuleProgram,
+    state: ExecState<'a>,
+}
+
+impl BatchExecutor for InterpSession<'_> {
+    fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64> {
+        let function = self.state.module.function(self.program.entry);
+        if input.len() != function.num_params {
+            return None;
+        }
+        self.state.reset(&self.program.interpreter);
+        let mut ctx = Ctx::new(observer);
+        Interpreter::exec_function(&mut self.state, self.program.entry, input, &mut ctx, 0)
+            .ok()
+            .flatten()
     }
 }
 
@@ -372,6 +525,13 @@ impl Analyzable for ModuleProgram {
             .ok()
             .flatten()
     }
+
+    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
+        Box::new(InterpSession {
+            state: ExecState::new(&self.interpreter, &self.module),
+            program: self,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +558,30 @@ mod tests {
         f.switch_to(join);
         let sq = f.bin(BinOp::Mul, xvar, xvar, Some(1));
         f.ret(Some(sq));
+        f.finish();
+        mb.build()
+    }
+
+    /// `while (x > 0) x = x + 1;` — never terminates for positive inputs.
+    fn spin_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("spin", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let xvar = f.copy(x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        f.cond_br(None, xvar, Cmp::Gt, zero, body, exit);
+        f.switch_to(body);
+        let next = f.bin(BinOp::Add, xvar, one, None);
+        f.assign(xvar, next);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(xvar));
         f.finish();
         mb.build()
     }
@@ -436,27 +620,7 @@ mod tests {
 
     #[test]
     fn loops_terminate_via_fuel() {
-        // while (x > 0) x = x + 1;  -- never terminates for positive x.
-        let mut mb = ModuleBuilder::new();
-        let mut f = mb.function("spin", 1);
-        let x = f.param(0);
-        let zero = f.constant(0.0);
-        let one = f.constant(1.0);
-        let xvar = f.copy(x);
-        let header = f.new_block();
-        let body = f.new_block();
-        let exit = f.new_block();
-        f.jump(header);
-        f.switch_to(header);
-        f.cond_br(None, xvar, Cmp::Gt, zero, body, exit);
-        f.switch_to(body);
-        let next = f.bin(BinOp::Add, xvar, one, None);
-        f.assign(xvar, next);
-        f.jump(header);
-        f.switch_to(exit);
-        f.ret(Some(xvar));
-        f.finish();
-        let m = mb.build();
+        let m = spin_module();
         let interp = Interpreter::default().with_fuel(10_000);
         let id = m.function_by_name("spin").unwrap();
         let mut obs = NullObserver;
@@ -543,5 +707,129 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ExecError::ArityMismatch { expected: 1, got: 2 });
         assert!(err.to_string().contains("expected 1"));
+    }
+
+    #[test]
+    fn precancelled_token_stops_a_high_iteration_program_immediately() {
+        // The regression this pins down: the interpreter used to ignore
+        // CancelToken entirely, so this program would grind through its
+        // whole 100M-instruction budget before anyone could stop it.
+        let m = spin_module();
+        let id = m.function_by_name("spin").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let interp = Interpreter::default()
+            .with_fuel(100_000_000)
+            .with_cancel(token);
+        let mut obs = NullObserver;
+        let mut ctx = Ctx::new(&mut obs);
+        let started = std::time::Instant::now();
+        let err = interp.execute(&m, id, &[1.0], &mut ctx).unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        // A poll fires within CANCEL_POLL_INTERVAL instructions; even a
+        // slow CI machine interprets a few hundred instructions instantly.
+        assert!(started.elapsed().as_secs() < 5);
+    }
+
+    #[test]
+    fn concurrent_cancellation_interrupts_a_running_loop() {
+        let m = spin_module();
+        let id = m.function_by_name("spin").unwrap();
+        let token = CancelToken::new();
+        // Effectively unbounded fuel: only cancellation can stop the loop.
+        let interp = Interpreter::default()
+            .with_fuel(u64::MAX / 2)
+            .with_cancel(token.clone());
+        let err = std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let mut obs = NullObserver;
+                let mut ctx = Ctx::new(&mut obs);
+                interp.execute(&m, id, &[1.0], &mut ctx).unwrap_err()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            token.cancel();
+            handle.join().expect("interpreter thread panicked")
+        });
+        assert_eq!(err, ExecError::Cancelled);
+    }
+
+    #[test]
+    fn module_program_with_cancel_reports_no_result() {
+        let token = CancelToken::new();
+        token.cancel();
+        let p = ModuleProgram::new(spin_module(), "spin")
+            .unwrap()
+            .with_interpreter(Interpreter::default().with_fuel(100_000_000))
+            .with_cancel(token);
+        assert_eq!(p.run(&[1.0], &mut NullObserver), None);
+    }
+
+    #[test]
+    fn execute_batch_matches_scalar_execution() {
+        let m = square_gate();
+        let id = m.function_by_name("f").unwrap();
+        let interp = Interpreter::default();
+        let inputs: Vec<Vec<f64>> = (-10..10).map(|i| vec![i as f64 * 0.37]).collect();
+        let mut obs = NullObserver;
+        let batch = interp
+            .execute_batch(&m, id, &inputs, &mut obs)
+            .expect("batch runs");
+        for (input, batched) in inputs.iter().zip(&batch) {
+            let mut ctx = Ctx::new(&mut obs);
+            let scalar = interp.execute(&m, id, input, &mut ctx).unwrap();
+            assert_eq!(*batched, scalar, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn execute_batch_rejects_bad_arity_mid_batch() {
+        let m = square_gate();
+        let id = m.function_by_name("f").unwrap();
+        let mut obs = NullObserver;
+        let err = Interpreter::default()
+            .execute_batch(&m, id, &[vec![1.0], vec![1.0, 2.0]], &mut obs)
+            .unwrap_err();
+        assert_eq!(err, ExecError::ArityMismatch { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn batch_executor_reuses_state_without_changing_results_or_events() {
+        // Globals must reset between batch inputs, frames must be reused,
+        // and the event stream must be identical to scalar runs.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        let mut callee = mb.function("callee", 1);
+        let x = callee.param(0);
+        let a = callee.un(UnOp::Abs, x, Some(0));
+        let wv = callee.load_global(w);
+        let prod = callee.bin(BinOp::Mul, wv, a, Some(1));
+        callee.store_global(w, prod);
+        callee.ret(Some(x));
+        let callee_id = callee.finish();
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let _ = main.call(callee_id, vec![x]);
+        let back = main.load_global(w);
+        main.ret(Some(back));
+        main.finish();
+        let p = ModuleProgram::new(mb.build(), "main").unwrap();
+
+        let inputs: Vec<Vec<f64>> = vec![vec![-3.0], vec![2.0], vec![-0.5]];
+        let mut session = p.batch_executor();
+        for input in &inputs {
+            let mut batch_rec = TraceRecorder::new();
+            let batched = session.execute_one(input, &mut batch_rec);
+            let mut scalar_rec = TraceRecorder::new();
+            let scalar = p.run(input, &mut scalar_rec);
+            // w resets to 1.0 for every input, so main returns |x|.
+            assert_eq!(batched, Some(input[0].abs()));
+            assert_eq!(batched, scalar);
+            assert_eq!(
+                batch_rec.ops().collect::<Vec<_>>(),
+                scalar_rec.ops().collect::<Vec<_>>()
+            );
+        }
+        // Bad arity through the session reports "no result", like execute.
+        assert_eq!(session.execute_one(&[1.0, 2.0], &mut NullObserver), None);
     }
 }

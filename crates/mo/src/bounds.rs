@@ -98,6 +98,19 @@ impl Bounds {
             .collect()
     }
 
+    /// Draws a random value for dimension `i` alone, with the same
+    /// narrow-uniform / wide-log-uniform rule as [`Bounds::sample`].
+    /// Differential Evolution uses this to repair non-finite mutant
+    /// components by resampling them from the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sample_component<R: Rng + ?Sized>(&self, rng: &mut R, i: usize) -> f64 {
+        let (lo, hi) = self.limits[i];
+        Self::sample_dim(rng, lo, hi)
+    }
+
     fn sample_dim<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
         let width = hi - lo;
         if width.is_finite() && width <= 1.0e6 {
@@ -202,6 +215,18 @@ mod tests {
         let mut rng = rng_from_seed(3);
         for _ in 0..500 {
             assert!(b.sample(&mut rng)[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_component_stays_in_its_dimension() {
+        let b = Bounds::new(vec![(-2.0, 3.0), (0.0, f64::MAX)]);
+        let mut rng = rng_from_seed(4);
+        for _ in 0..300 {
+            let x0 = b.sample_component(&mut rng, 0);
+            let x1 = b.sample_component(&mut rng, 1);
+            assert!((-2.0..=3.0).contains(&x0), "x0 = {x0}");
+            assert!(x1 >= 0.0 && x1.is_finite(), "x1 = {x1}");
         }
     }
 

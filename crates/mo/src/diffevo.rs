@@ -1,14 +1,27 @@
 //! Differential Evolution (Storn 1999), the second backend of Table 1.
 //!
 //! A population-based global strategy using the classic `rand/1/bin`
-//! mutation and binomial crossover. Population members are initialized by
-//! the same wide-range sampling as every other backend so that very small
-//! and very large magnitudes are represented.
+//! mutation and binomial crossover with a *generational* (synchronous)
+//! update: every generation first builds all `NP` trial vectors from the
+//! current population, then evaluates the whole generation as **one batch**
+//! through [`Evaluator::eval_batch`], then applies selection. Batching the
+//! generation is what lets a SIMD/GPU objective backend amortize
+//! per-evaluation overhead; the per-sample bookkeeping (trace order,
+//! incumbent updates, budget and cancellation) is bit-identical to
+//! evaluating the same trials one by one.
+//!
+//! Population members are initialized by the same wide-range sampling as
+//! every other backend so that very small and very large magnitudes are
+//! represented. Non-finite mutant components are repaired before
+//! evaluation: infinities clamp to the violated bound, while NaN (an
+//! `inf - inf` difference term) is resampled from the bounds — `f64::clamp`
+//! propagates NaN, so clamping alone would silently leave the component
+//! broken.
 
 use crate::evaluator::Evaluator;
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
-use crate::{GlobalMinimizer, Problem};
+use crate::{Bounds, GlobalMinimizer, Problem};
 use rand::Rng;
 
 /// Configuration of the Differential Evolution backend.
@@ -65,6 +78,35 @@ impl DifferentialEvolution {
     }
 }
 
+/// Computes component `j` of a `rand/1` mutant and repairs it if the
+/// floating-point arithmetic left the range of finite doubles: an infinite
+/// mutant clamps to the violated bound, while a NaN mutant (`0 * inf` or
+/// `inf - inf` in the difference term) is resampled from the bounds.
+///
+/// The NaN arm is the bugfix: `f64::clamp` propagates NaN, so the previous
+/// `mutant.clamp(lo, hi)` repair was a no-op for NaN mutants, which then
+/// fell through to the bounds-midpoint fallback inside the evaluator's
+/// clamping instead of staying a meaningful search point.
+fn mutate_component<R: Rng + ?Sized>(
+    base: f64,
+    diff_b: f64,
+    diff_c: f64,
+    weight: f64,
+    bounds: &Bounds,
+    j: usize,
+    rng: &mut R,
+) -> f64 {
+    let mutant = base + weight * (diff_b - diff_c);
+    if mutant.is_finite() {
+        mutant
+    } else if mutant.is_nan() {
+        bounds.sample_component(rng, j)
+    } else {
+        let (lo, hi) = bounds.limit(j);
+        mutant.clamp(lo, hi)
+    }
+}
+
 impl GlobalMinimizer for DifferentialEvolution {
     fn minimize(
         &self,
@@ -80,25 +122,26 @@ impl GlobalMinimizer for DifferentialEvolution {
         let mut rng = crate::rng_from_seed(seed);
         let mut ev = Evaluator::new(problem, sink);
 
-        // Initial population.
+        // Initial population, evaluated as one batch.
         let mut pop: Vec<Vec<f64>> = (0..np).map(|_| problem.bounds.sample(&mut rng)).collect();
         let mut values: Vec<f64> = Vec::with_capacity(np);
-        for member in &pop {
-            values.push(ev.eval(member));
-            if ev.should_stop() {
-                break;
-            }
-        }
+        ev.eval_batch(&pop, &mut values);
         while values.len() < np {
             values.push(f64::INFINITY);
         }
 
+        let mut trials: Vec<Vec<f64>> = Vec::with_capacity(np);
+        let mut trial_values: Vec<f64> = Vec::with_capacity(np);
         let mut termination = Termination::IterationsCompleted;
-        'outer: for _gen in 0..self.max_generations {
+        for _gen in 0..self.max_generations {
             if ev.should_stop() {
                 termination = ev.termination(Termination::IterationsCompleted);
                 break;
             }
+            // Build every trial of this generation from the current
+            // population (synchronous update), so the whole generation can
+            // be evaluated in one batch below.
+            trials.clear();
             for i in 0..np {
                 // Pick three distinct members different from i.
                 let mut pick = || loop {
@@ -112,23 +155,35 @@ impl GlobalMinimizer for DifferentialEvolution {
                 let mut trial = pop[i].clone();
                 for j in 0..dim {
                     if rng.gen::<f64>() < self.crossover || j == j_rand {
-                        trial[j] = pop[a][j] + self.weight * (pop[b][j] - pop[c][j]);
-                        if !trial[j].is_finite() {
-                            let (lo, hi) = problem.bounds.limit(j);
-                            trial[j] = trial[j].clamp(lo, hi);
-                        }
+                        trial[j] = mutate_component(
+                            pop[a][j],
+                            pop[b][j],
+                            pop[c][j],
+                            self.weight,
+                            &problem.bounds,
+                            j,
+                            &mut rng,
+                        );
                     }
                 }
-                let trial_value = ev.eval(&trial);
-                if crate::better(trial_value, values[i]) || trial_value == values[i] {
-                    pop[i] = problem.bounds.clamped(&trial);
-                    values[i] = trial_value;
-                }
-                if ev.should_stop() {
-                    termination = ev.termination(Termination::IterationsCompleted);
-                    break 'outer;
+                trials.push(trial);
+            }
+
+            // One batched evaluation per generation; a short count means a
+            // stop condition fired mid-generation, exactly where a scalar
+            // loop over the same trials would have stopped.
+            let processed = ev.eval_batch(&trials, &mut trial_values);
+            for i in 0..processed {
+                if crate::better(trial_values[i], values[i]) || trial_values[i] == values[i] {
+                    pop[i] = problem.bounds.clamped(&trials[i]);
+                    values[i] = trial_values[i];
                 }
             }
+            if processed < np || ev.should_stop() {
+                termination = ev.termination(Termination::IterationsCompleted);
+                break;
+            }
+
             // Convergence: population values nearly equal.
             let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
             if finite.len() == np {
@@ -223,5 +278,59 @@ mod tests {
             .with_max_evals(50_000);
         let r = DifferentialEvolution::default().minimize(&p, 9, &mut NoTrace);
         assert_eq!(r.termination, Termination::TargetReached);
+    }
+
+    #[test]
+    fn nan_mutant_is_resampled_from_the_bounds() {
+        // Regression for the NaN repair: with F = 0 the difference term
+        // `0 * (b - c)` is NaN whenever `b - c` overflows — the old
+        // `mutant.clamp(lo, hi)` repair propagated that NaN straight into
+        // the trial vector.
+        let bounds = Bounds::new(vec![(-1.0e4, 1.0e4)]);
+        let mut rng = crate::rng_from_seed(7);
+        for _ in 0..50 {
+            let mutant =
+                mutate_component(3.0, f64::MAX, -f64::MAX, 0.0, &bounds, 0, &mut rng);
+            assert!(mutant.is_finite(), "mutant = {mutant}");
+            assert!((-1.0e4..=1.0e4).contains(&mutant), "mutant = {mutant}");
+        }
+    }
+
+    #[test]
+    fn infinite_mutants_clamp_to_the_violated_bound() {
+        let bounds = Bounds::new(vec![(-5.0, 7.0)]);
+        let mut rng = crate::rng_from_seed(8);
+        // base + F * (b - c) overflows to +inf / -inf.
+        let up = mutate_component(1.0, f64::MAX, -f64::MAX, 2.0, &bounds, 0, &mut rng);
+        assert_eq!(up, 7.0);
+        let down = mutate_component(-1.0, -f64::MAX, f64::MAX, 2.0, &bounds, 0, &mut rng);
+        assert_eq!(down, -5.0);
+        // A finite mutant passes through unrepaired (even out of bounds —
+        // the evaluator clamps at evaluation time, as for every backend).
+        let plain = mutate_component(1.0, 5.0, 2.0, 0.5, &bounds, 0, &mut rng);
+        assert_eq!(plain, 2.5);
+    }
+
+    #[test]
+    fn whole_range_run_never_evaluates_a_midpoint_fallback() {
+        // End-to-end guard: on the whole binary64 box with F = 0, every
+        // trial component is either a (nonzero) population value or a
+        // repaired resample — a 0.0 sample would mean a NaN slipped through
+        // to the evaluator's midpoint fallback.
+        struct AssertNonZero;
+        impl crate::SampleSink for AssertNonZero {
+            fn record(&mut self, _index: u64, x: &[f64], _value: f64) {
+                assert!(x[0].is_finite());
+                assert_ne!(x[0], 0.0, "midpoint fallback reached the objective");
+            }
+        }
+        let f = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let p = Problem::new(&f, Bounds::whole(1)).with_max_evals(4_000);
+        let de = DifferentialEvolution {
+            weight: 0.0,
+            ..DifferentialEvolution::default()
+        };
+        let r = de.minimize(&p, 3, &mut AssertNonZero);
+        assert!(r.value.is_finite());
     }
 }

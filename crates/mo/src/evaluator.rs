@@ -1,12 +1,40 @@
-//! Internal bookkeeping shared by all backends: evaluation counting, best
-//! tracking, sample recording and target/budget stopping.
+//! Bookkeeping shared by all backends: evaluation counting, best tracking,
+//! sample recording and target/budget stopping — for one point at a time
+//! ([`Evaluator::eval`]) or for whole candidate batches
+//! ([`Evaluator::eval_batch`]).
+//!
+//! The evaluator is public because it is the seam a batched (SIMD/GPU)
+//! objective backend plugs into: backends hand it candidate points, and it
+//! owns clamping, trace recording, incumbent updates and stop conditions,
+//! guaranteeing that the batched path is **bit-identical** to the scalar
+//! one (same values, same evaluation count, same incumbent, same recorded
+//! trace) — a guarantee the workspace-level batch equivalence proptests
+//! pin down.
 
 use crate::result::Termination;
 use crate::sampling::SampleSink;
 use crate::{better, Problem};
 
+/// How many points the batched path hands to [`Objective::eval_batch`]
+/// (crate::Objective::eval_batch) at once. Chunking bounds the clamped-copy
+/// scratch memory and keeps wasted evaluations small when a stop condition
+/// fires mid-batch.
+const BATCH_CHUNK: usize = 64;
+
 /// Tracks evaluations for one backend run.
-pub(crate) struct Evaluator<'a, 'b> {
+///
+/// The canonical scalar shape every backend follows is
+///
+/// ```ignore
+/// ev.eval(&x);
+/// if ev.should_stop() { break; }
+/// ```
+///
+/// i.e. stop conditions are checked *after* each evaluation.
+/// [`Evaluator::eval_batch`] reproduces exactly that loop over a batch of
+/// points, stopping right after the sample at which the scalar loop would
+/// have stopped.
+pub struct Evaluator<'a, 'b> {
     problem: &'a Problem<'a>,
     sink: &'b mut dyn SampleSink,
     evals: usize,
@@ -18,7 +46,9 @@ pub(crate) struct Evaluator<'a, 'b> {
 }
 
 impl<'a, 'b> Evaluator<'a, 'b> {
-    pub(crate) fn new(problem: &'a Problem<'a>, sink: &'b mut dyn SampleSink) -> Self {
+    /// Creates an evaluator for one backend run over `problem`, recording
+    /// every evaluation into `sink`.
+    pub fn new(problem: &'a Problem<'a>, sink: &'b mut dyn SampleSink) -> Self {
         Evaluator {
             problem,
             sink,
@@ -33,42 +63,118 @@ impl<'a, 'b> Evaluator<'a, 'b> {
 
     /// Evaluates the objective at `x` (clamped into the bounds), records the
     /// sample and updates the incumbent.
-    pub(crate) fn eval(&mut self, x: &[f64]) -> f64 {
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
         let clamped = self.problem.bounds.clamped(x);
         let value = self.problem.objective.eval(&clamped);
         self.sink.record(self.evals as u64, &clamped, value);
         self.evals += 1;
+        self.note(&clamped, value);
+        value
+    }
+
+    /// Evaluates a batch of candidate points through
+    /// [`Objective::eval_batch`](crate::Objective::eval_batch), chunked so
+    /// the budget is never exceeded, and replays the scalar bookkeeping per
+    /// sample in order: clamping, trace recording, evaluation counting,
+    /// incumbent updates and target detection are bit-identical to calling
+    /// [`Evaluator::eval`] in a loop with a `should_stop` post-check.
+    ///
+    /// Replaces the contents of `out` with the values of the *processed*
+    /// samples and returns their count: processing stops right after the
+    /// sample at which the scalar loop would have stopped (target reached,
+    /// budget exhausted, or cancellation observed), so a short count means
+    /// the remaining points were never charged — exactly as if the scalar
+    /// loop had broken there. Like the scalar post-check loop, a non-empty
+    /// batch always processes at least one sample; callers check
+    /// [`Evaluator::should_stop`] before submitting a batch, as the scalar
+    /// backends do before each `eval`.
+    pub fn eval_batch(&mut self, xs: &[Vec<f64>], out: &mut Vec<f64>) -> usize {
+        out.clear();
+        let mut processed = 0usize;
+        let mut clamped: Vec<Vec<f64>> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        while processed < xs.len() {
+            // The scalar loop checks stop conditions after each evaluation,
+            // never before the first one.
+            if processed > 0 && self.should_stop() {
+                break;
+            }
+            let budget = self.remaining().max(1);
+            let chunk = BATCH_CHUNK.min(xs.len() - processed).min(budget);
+            clamped.clear();
+            clamped.extend(
+                xs[processed..processed + chunk]
+                    .iter()
+                    .map(|x| self.problem.bounds.clamped(x)),
+            );
+            self.problem.objective.eval_batch(&clamped, &mut values);
+            // How far into the chunk the scalar loop would have gone: it
+            // stops right after the sample that reaches the target,
+            // exhausts the budget, or observes cancellation. Samples past
+            // that point stay uncharged and unrecorded.
+            let mut take = 0usize;
+            while take < chunk {
+                take += 1;
+                // `self.target_hit` covers a target already reached before
+                // this batch (the scalar post-check loop would stop after
+                // one more sample); the fresh per-sample check covers a
+                // target reached inside the chunk.
+                if self.target_hit
+                    || self.problem.target_reached(values[take - 1])
+                    || self.evals + take >= self.max_evals
+                    || self.problem.is_cancelled()
+                {
+                    break;
+                }
+            }
+            self.sink
+                .record_batch(self.evals as u64, &clamped[..take], &values[..take]);
+            for (x, &value) in clamped[..take].iter().zip(&values[..take]) {
+                self.evals += 1;
+                self.note(x, value);
+                out.push(value);
+            }
+            processed += take;
+            if take < chunk {
+                break;
+            }
+        }
+        processed
+    }
+
+    /// Folds one evaluated sample into the incumbent and target state.
+    fn note(&mut self, clamped: &[f64], value: f64) {
         if better(value, self.best_value) || !self.has_best {
             self.best_value = value;
-            self.best_x = clamped;
+            self.best_x.clear();
+            self.best_x.extend_from_slice(clamped);
             self.has_best = true;
         }
         if self.problem.target_reached(value) {
             self.target_hit = true;
         }
-        value
     }
 
     /// Number of evaluations so far.
-    pub(crate) fn evals(&self) -> usize {
+    pub fn evals(&self) -> usize {
         self.evals
     }
 
     /// Whether the run must stop (target reached, budget exhausted, or the
     /// run was cancelled externally).
-    pub(crate) fn should_stop(&self) -> bool {
+    pub fn should_stop(&self) -> bool {
         self.target_hit || self.evals >= self.max_evals || self.problem.is_cancelled()
     }
 
     /// Whether the run was cancelled externally.
-    pub(crate) fn cancelled(&self) -> bool {
+    pub fn cancelled(&self) -> bool {
         self.problem.is_cancelled()
     }
 
     /// Classifies why a finished run stopped, falling back to `fallback`
     /// when no stop condition fired (the algorithm converged or ran out of
     /// iterations on its own).
-    pub(crate) fn termination(&self, fallback: Termination) -> Termination {
+    pub fn termination(&self, fallback: Termination) -> Termination {
         if self.target_hit {
             Termination::TargetReached
         } else if self.cancelled() {
@@ -81,23 +187,34 @@ impl<'a, 'b> Evaluator<'a, 'b> {
     }
 
     /// Whether the target value has been reached.
-    pub(crate) fn target_hit(&self) -> bool {
+    pub fn target_hit(&self) -> bool {
         self.target_hit
     }
 
     /// Whether the evaluation budget is exhausted.
-    pub(crate) fn budget_exhausted(&self) -> bool {
+    pub fn budget_exhausted(&self) -> bool {
         self.evals >= self.max_evals
     }
 
     /// Remaining evaluations before the budget is exhausted.
-    pub(crate) fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.max_evals.saturating_sub(self.evals)
     }
 
     /// Best point seen so far.
-    pub(crate) fn best(&self) -> (Vec<f64>, f64) {
+    pub fn best(&self) -> (Vec<f64>, f64) {
         (self.best_x.clone(), self.best_value)
+    }
+}
+
+impl std::fmt::Debug for Evaluator<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("evals", &self.evals)
+            .field("max_evals", &self.max_evals)
+            .field("best_value", &self.best_value)
+            .field("target_hit", &self.target_hit)
+            .finish_non_exhaustive()
     }
 }
 
@@ -183,5 +300,112 @@ mod tests {
         assert!(ev.budget_exhausted());
         assert!(ev.should_stop());
         assert_eq!(ev.remaining(), 0);
+    }
+
+    /// Runs the canonical scalar post-check loop over `xs`.
+    fn scalar_reference(
+        problem: &Problem<'_>,
+        xs: &[Vec<f64>],
+        trace: &mut SamplingTrace,
+    ) -> (Vec<f64>, usize, (Vec<f64>, f64)) {
+        let mut ev = Evaluator::new(problem, trace);
+        let mut values = Vec::new();
+        for x in xs {
+            values.push(ev.eval(x));
+            if ev.should_stop() {
+                break;
+            }
+        }
+        (values, ev.evals(), ev.best())
+    }
+
+    fn assert_batch_matches_scalar(problem: &Problem<'_>, xs: &[Vec<f64>]) {
+        let mut scalar_trace = SamplingTrace::new();
+        let (scalar_values, scalar_evals, scalar_best) =
+            scalar_reference(problem, xs, &mut scalar_trace);
+
+        let mut batch_trace = SamplingTrace::new();
+        let mut ev = Evaluator::new(problem, &mut batch_trace);
+        let mut values = Vec::new();
+        let processed = ev.eval_batch(xs, &mut values);
+
+        assert_eq!(values, scalar_values);
+        assert_eq!(processed, scalar_evals);
+        assert_eq!(ev.evals(), scalar_evals);
+        assert_eq!(ev.best(), scalar_best);
+        assert_eq!(batch_trace.samples(), scalar_trace.samples());
+        assert_eq!(batch_trace.total_seen(), scalar_trace.total_seen());
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_loop_across_chunk_boundaries() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 7.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 100.0));
+        // More points than one chunk, including out-of-bounds points.
+        let xs: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 * 3.0 - 120.0]).collect();
+        assert_batch_matches_scalar(&p, &xs);
+    }
+
+    #[test]
+    fn eval_batch_stops_mid_batch_on_budget() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let p = Problem::new(&f, Bounds::symmetric(1, 1000.0)).with_max_evals(10);
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        assert_batch_matches_scalar(&p, &xs);
+    }
+
+    #[test]
+    fn eval_batch_stops_mid_batch_on_target() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 5.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 1000.0)).with_target(0.0);
+        let xs: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64]).collect();
+        // The scalar loop stops right after x = 5 (sample index 5).
+        assert_batch_matches_scalar(&p, &xs);
+    }
+
+    #[test]
+    fn eval_batch_with_precancelled_token_processes_one_sample() {
+        use crate::CancelToken;
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let token = CancelToken::new();
+        token.cancel();
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_cancel(token);
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        // Like the scalar post-check loop, exactly one sample is evaluated.
+        assert_batch_matches_scalar(&p, &xs);
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        let mut out = Vec::new();
+        assert_eq!(ev.eval_batch(&xs, &mut out), 1);
+    }
+
+    #[test]
+    fn eval_batch_after_target_already_hit_processes_one_sample() {
+        // A stale target_hit at batch entry must behave like the scalar
+        // post-check loop: evaluate exactly one more sample, then stop.
+        let f = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 1000.0)).with_target(0.5);
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        ev.eval(&[0.0]); // hits the target
+        assert!(ev.target_hit());
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 + 1.0]).collect();
+        let mut out = Vec::new();
+        assert_eq!(ev.eval_batch(&xs, &mut out), 1);
+        assert_eq!(ev.evals(), 2);
+        // The incumbent stays the target hit, not a later sample.
+        assert_eq!(ev.best().1, 0.0);
+    }
+
+    #[test]
+    fn eval_batch_on_empty_input_is_a_no_op() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let p = Problem::new(&f, Bounds::symmetric(1, 1.0));
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        let mut out = vec![1.0];
+        assert_eq!(ev.eval_batch(&[], &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(ev.evals(), 0);
     }
 }

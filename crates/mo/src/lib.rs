@@ -42,7 +42,7 @@ pub mod bounds;
 pub mod brent;
 pub mod cancel;
 pub mod diffevo;
-mod evaluator;
+pub mod evaluator;
 pub mod multistart;
 pub mod nelder_mead;
 pub mod objective;
@@ -58,6 +58,7 @@ pub use basinhopping::BasinHopping;
 pub use bounds::Bounds;
 pub use cancel::CancelToken;
 pub use diffevo::DifferentialEvolution;
+pub use evaluator::Evaluator;
 pub use multistart::MultiStart;
 pub use nelder_mead::NelderMead;
 pub use objective::{CountingObjective, FnObjective, Objective};

@@ -76,7 +76,16 @@ impl GlobalMinimizer for MultiStart {
         let mut total_evals = 0usize;
         let mut termination = Termination::IterationsCompleted;
 
-        for _ in 0..self.n_starts {
+        // Generate every starting point as one batch up front. The RNG
+        // stream is exclusively consumed by start-point sampling, so the
+        // points are identical to drawing them lazily inside the loop —
+        // and having the whole batch available is the seam through which a
+        // batched objective backend can pre-screen starting points.
+        let starts: Vec<Vec<f64>> = (0..self.n_starts)
+            .map(|_| problem.bounds.sample(&mut rng))
+            .collect();
+
+        for x0 in &starts {
             if problem.is_cancelled() {
                 termination = Termination::Cancelled;
                 break;
@@ -85,15 +94,14 @@ impl GlobalMinimizer for MultiStart {
                 termination = Termination::BudgetExhausted;
                 break;
             }
-            let x0 = problem.bounds.sample(&mut rng);
             let budget = self
                 .local_max_evals
                 .min(problem.max_evals.saturating_sub(total_evals));
             let r = match self.local {
                 StartLocal::NelderMead => {
-                    NelderMead::default().minimize_from(problem, &x0, budget, sink)
+                    NelderMead::default().minimize_from(problem, x0, budget, sink)
                 }
-                StartLocal::Powell => Powell::default().minimize_from(problem, &x0, budget, sink),
+                StartLocal::Powell => Powell::default().minimize_from(problem, x0, budget, sink),
             };
             total_evals += r.evals;
             let is_better = best

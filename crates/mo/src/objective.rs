@@ -18,6 +18,25 @@ pub trait Objective: Send + Sync {
     /// Implementations may return non-finite values; backends treat NaN as
     /// "worse than everything".
     fn eval(&self, x: &[f64]) -> f64;
+
+    /// Evaluates the function at every point of `xs`, replacing the
+    /// contents of `out` with one value per point (in order).
+    ///
+    /// This is the batched-evaluation seam: population backends (DiffEvo),
+    /// random search and the chunked [`Evaluator`](crate::Evaluator) hand
+    /// whole candidate groups to the objective in one call, so an
+    /// implementation can amortize per-evaluation setup — or dispatch the
+    /// batch to a SIMD/GPU kernel — as long as it returns **bit-identical**
+    /// values to calling [`Objective::eval`] once per point, which is what
+    /// the default scalar-loop implementation does and what the batch
+    /// equivalence tests assert.
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(xs.len());
+        for x in xs {
+            out.push(self.eval(x));
+        }
+    }
 }
 
 /// An [`Objective`] built from a closure.
@@ -114,6 +133,11 @@ impl Objective for CountingObjective<'_> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.eval(x)
     }
+
+    fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        self.count.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        self.inner.eval_batch(xs, out);
+    }
 }
 
 impl std::fmt::Debug for CountingObjective<'_> {
@@ -134,6 +158,27 @@ mod tests {
         let f = FnObjective::new(3, |x: &[f64]| x.iter().sum());
         assert_eq!(f.dim(), 3);
         assert_eq!(f.eval(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn default_eval_batch_matches_scalar_loop() {
+        let f = FnObjective::new(2, |x: &[f64]| x[0] * 3.0 - x[1]);
+        let xs: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64, 0.5 * i as f64]).collect();
+        let mut out = vec![999.0]; // stale contents must be replaced
+        f.eval_batch(&xs, &mut out);
+        let scalar: Vec<f64> = xs.iter().map(|x| f.eval(x)).collect();
+        assert_eq!(out, scalar);
+    }
+
+    #[test]
+    fn counting_objective_counts_batches() {
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let c = CountingObjective::new(&f);
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let mut out = Vec::new();
+        c.eval_batch(&xs, &mut out);
+        assert_eq!(c.count(), 5);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

@@ -48,10 +48,22 @@ impl GlobalMinimizer for RandomSearch {
         } else {
             self.max_samples.min(problem.max_evals)
         };
-        for _ in 0..limit {
-            let x = problem.bounds.sample(&mut rng);
-            ev.eval(&x);
-            if ev.should_stop() {
+        // Sample and evaluate in batches. The RNG stream only feeds the
+        // sampler, so drawing a chunk of points up front consumes exactly
+        // the draws the scalar loop would have made for those points, and
+        // `eval_batch` stops at the same sample the scalar loop would —
+        // results are bit-identical to sampling and evaluating one by one.
+        const CHUNK: usize = 64;
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        let mut done = 0usize;
+        while done < limit {
+            let k = CHUNK.min(limit - done);
+            xs.clear();
+            xs.extend((0..k).map(|_| problem.bounds.sample(&mut rng)));
+            let processed = ev.eval_batch(&xs, &mut values);
+            done += processed;
+            if processed < k || ev.should_stop() {
                 break;
             }
         }

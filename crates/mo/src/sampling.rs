@@ -26,6 +26,19 @@ pub struct Sample {
 pub trait SampleSink: Send {
     /// Records one evaluation.
     fn record(&mut self, index: u64, x: &[f64], value: f64);
+
+    /// Records a contiguous batch of evaluations: sample `i` of the batch
+    /// has index `start_index + i`. Must be observably identical to calling
+    /// [`SampleSink::record`] once per sample in order — the default does
+    /// exactly that; sinks may override it to amortize per-sample work
+    /// (the chunked [`Evaluator`](crate::Evaluator) records whole batch
+    /// prefixes through this method).
+    fn record_batch(&mut self, start_index: u64, xs: &[Vec<f64>], values: &[f64]) {
+        debug_assert_eq!(xs.len(), values.len());
+        for (i, (x, &value)) in xs.iter().zip(values).enumerate() {
+            self.record(start_index + i as u64, x, value);
+        }
+    }
 }
 
 /// A sink that discards every sample.
@@ -34,6 +47,8 @@ pub struct NoTrace;
 
 impl SampleSink for NoTrace {
     fn record(&mut self, _index: u64, _x: &[f64], _value: f64) {}
+
+    fn record_batch(&mut self, _start_index: u64, _xs: &[Vec<f64>], _values: &[f64]) {}
 }
 
 /// Stores the sampling sequence, keeping every `stride`-th sample to bound
@@ -181,6 +196,21 @@ mod tests {
     fn no_trace_is_a_no_op() {
         let mut t = NoTrace;
         t.record(0, &[1.0], 1.0);
+        t.record_batch(1, &[vec![2.0]], &[2.0]);
+    }
+
+    #[test]
+    fn record_batch_matches_per_sample_records() {
+        let xs: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64]).collect();
+        let values: Vec<f64> = (0..7).map(|i| 0.5 * i as f64).collect();
+        let mut batched = SamplingTrace::with_stride(2);
+        batched.record_batch(4, &xs, &values);
+        let mut scalar = SamplingTrace::with_stride(2);
+        for (i, (x, &v)) in xs.iter().zip(&values).enumerate() {
+            scalar.record(4 + i as u64, x, v);
+        }
+        assert_eq!(batched.samples(), scalar.samples());
+        assert_eq!(batched.total_seen(), scalar.total_seen());
     }
 
     #[test]

@@ -59,9 +59,49 @@ pub trait Analyzable: Send + Sync {
         let mut ctx = Ctx::new(observer);
         self.execute(input, &mut ctx)
     }
+
+    /// Returns a reusable [`BatchExecutor`] amortizing per-execution setup
+    /// over many runs of this program.
+    ///
+    /// Each execution still gets its own observer (weak distances fold
+    /// per-run state in the observer), but an implementation can hoist
+    /// everything input-independent out of the per-run path: the default
+    /// executor simply loops [`Analyzable::run`], while the `fpir`
+    /// interpreter reuses its register frames and global-variable buffers
+    /// across the whole batch. Results are bit-identical to calling
+    /// [`Analyzable::run`] once per input.
+    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
+        Box::new(ScalarBatchExecutor(self))
+    }
+}
+
+/// A reusable execution session over one [`Analyzable`] program: the
+/// batched-evaluation seam of the runtime layer.
+///
+/// Obtained from [`Analyzable::batch_executor`]; callers evaluate many
+/// inputs through one executor so the program can amortize per-execution
+/// setup (buffer allocation, program decoding) across the batch.
+pub trait BatchExecutor {
+    /// Executes the program on `input`, reporting events through a fresh
+    /// probe context over `observer`, exactly like [`Analyzable::run`].
+    fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64>;
+}
+
+/// The default [`BatchExecutor`]: a plain loop over [`Analyzable::run`]
+/// with no batch-level amortization.
+struct ScalarBatchExecutor<'a, P: ?Sized>(&'a P);
+
+impl<P: Analyzable + ?Sized> BatchExecutor for ScalarBatchExecutor<'_, P> {
+    fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64> {
+        self.0.run(input, observer)
+    }
 }
 
 impl<P: Analyzable + ?Sized> Analyzable for &P {
+    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
+        (**self).batch_executor()
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }

@@ -51,12 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod analyzable;
+pub mod cancel;
 pub mod event;
 pub mod interval;
 pub mod probe;
 pub mod recorder;
 
-pub use analyzable::{Analyzable, ClosureProgram};
+pub use analyzable::{Analyzable, BatchExecutor, ClosureProgram};
+pub use cancel::CancelToken;
 pub use event::{BranchEvent, BranchId, BranchSite, Cmp, Event, FpOp, OpEvent, OpId, OpSite};
 pub use interval::Interval;
 pub use probe::{Ctx, ProbeControl};

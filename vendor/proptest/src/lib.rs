@@ -120,3 +120,25 @@ mod tests {
         assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
     }
 }
+
+/// `proptest::option` subset: strategies over `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` half the time and `Some` of `inner`
+    /// otherwise, like `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// `proptest::collection` subset: strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements from `element`, like `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}

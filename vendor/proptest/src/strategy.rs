@@ -99,3 +99,57 @@ impl Strategy for Any<f32> {
         f32::from_bits(rng.next_u32())
     }
 }
+
+impl Strategy for Any<u8> {
+    type Value = u8;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u8 {
+        (rng.next_u32() & 0xFF) as u8
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy produced by [`crate::option::of`]: `None` half the time,
+/// `Some` of the inner strategy otherwise (matching proptest's default
+/// `Some` probability of 0.5).
+pub struct OptionStrategy<S>(pub(crate) S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Option<S::Value> {
+        if rng.next_u32() & 1 == 1 {
+            Some(self.0.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy produced by [`crate::collection::vec`]: a `Vec` whose length
+/// is drawn from the given range and whose elements come from the inner
+/// strategy.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let len = if self.len.start < self.len.end {
+            self.len.start + (rng.next_u64() as usize) % (self.len.end - self.len.start)
+        } else {
+            self.len.start
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
