@@ -1,0 +1,61 @@
+//! Criterion benches of the lanewise SoA kernel backend against the batch
+//! interpreter: the same boundary weak distance evaluated through
+//! `eval_batch` under `KernelPolicy::Never` (per-input interpreter
+//! session) and `KernelPolicy::Always` (lockstep wave), on a straight-line
+//! module (no divergence — the kernel's best case) and on the branchy
+//! Fig. 2 program (lanes diverge and finish on the scalar resume path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_runtime::KernelPolicy;
+use std::hint::black_box;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::weak_distance::WeakDistance;
+
+fn wd(module: fpir::Module, policy: KernelPolicy) -> impl WeakDistance {
+    BoundaryWeakDistance::new(fpir::ModuleProgram::new(module, "prog").expect("entry exists"))
+        .with_kernel_policy(policy)
+}
+
+fn bench_kernel_vs_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    let xs: Vec<Vec<f64>> = (0..1_024).map(|i| vec![i as f64 * 0.003 - 1.5]).collect();
+
+    let horner_interp = wd(fpir::programs::horner_program(24), KernelPolicy::Never);
+    let horner_kernel = wd(fpir::programs::horner_program(24), KernelPolicy::Always);
+    group.bench_function("horner24/interp_batch", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            horner_interp.eval_batch(&xs, &mut out);
+            black_box(out)
+        })
+    });
+    group.bench_function("horner24/lanewise_kernel", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            horner_kernel.eval_batch(&xs, &mut out);
+            black_box(out)
+        })
+    });
+
+    let fig2_interp = wd(fpir::programs::fig2_program(), KernelPolicy::Never);
+    let fig2_kernel = wd(fpir::programs::fig2_program(), KernelPolicy::Always);
+    let wide: Vec<Vec<f64>> = (0..1_024).map(|i| vec![i as f64 * 0.07 - 35.0]).collect();
+    group.bench_function("fig2/interp_batch", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            fig2_interp.eval_batch(&wide, &mut out);
+            black_box(out)
+        })
+    });
+    group.bench_function("fig2/lanewise_kernel", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            fig2_kernel.eval_batch(&wide, &mut out);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_vs_interp);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Measures the per-evaluation overhead the lanewise SoA kernel backend
+//! saves over the PR 3 batch interpreter, and verifies that the kernel
+//! never changes results.
+//!
+//! Each workload evaluates the same point grid twice through the analysis
+//! stack's `eval_batch` — once with [`KernelPolicy::Never`] (the
+//! per-input batch-interpret session) and once with
+//! [`KernelPolicy::Always`] (the lanewise kernel) — asserting bitwise
+//! identical values:
+//!
+//! * **kernel/horner24** — the boundary weak distance of a straight-line
+//!   24-term Horner chain: no divergence, so every lane stays in the
+//!   lockstep wave; this is where the kernel pays most and the workload
+//!   behind the "lower per-eval overhead on straight-line modules"
+//!   acceptance gate;
+//! * **kernel/fig2**, **kernel/fig1b** — the paper's branchy example
+//!   programs: lanes diverge at the conditional branches and finish on
+//!   the scalar resume path, so these measure the kernel under
+//!   control-flow divergence;
+//! * **pooled/horner24** — the kernel batch spread over worker threads via
+//!   `wdm_engine::PooledObjective` (threads × lanes; order-preserving, so
+//!   still bit-identical — wall-clock gains need real cores).
+//!
+//! Usage: `kernel_speedup [--smoke] [--threads N] [--json <path>]`
+//! (`--smoke` shrinks the point count for CI; the JSON report is
+//! `BENCH_kernel.json` when `--json` targets a directory).
+
+use fp_runtime::KernelPolicy;
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::weak_distance::{WeakDistance, WeakDistanceObjective};
+use wdm_engine::PooledObjective;
+use wdm_mo::Objective;
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    points: usize,
+    straightline: bool,
+    interp_seconds: f64,
+    kernel_seconds: f64,
+    speedup: f64,
+    interp_ns_per_eval: f64,
+    kernel_ns_per_eval: f64,
+    identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct KernelReport {
+    smoke: bool,
+    threads: usize,
+    /// The acceptance gate: on straight-line modules the kernel must beat
+    /// the batch interpreter's per-eval overhead.
+    kernel_faster_on_straightline: bool,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// A deterministic point grid over `[lo, hi]` (no RNG needed — we time
+/// evaluation, not search).
+fn grid(n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![lo + (hi - lo) * (i as f64 + 0.5) / n as f64])
+        .collect()
+}
+
+fn boundary_wd(module: fpir::Module, policy: KernelPolicy) -> BoundaryWeakDistance<fpir::ModuleProgram> {
+    BoundaryWeakDistance::new(
+        fpir::ModuleProgram::new(module, "prog").expect("entry exists"),
+    )
+    .with_kernel_policy(policy)
+}
+
+fn time_workload(
+    name: &str,
+    straightline: bool,
+    xs: &[Vec<f64>],
+    interp: impl Fn(&[Vec<f64>], &mut Vec<f64>),
+    kernel: impl Fn(&[Vec<f64>], &mut Vec<f64>),
+) -> WorkloadReport {
+    let mut interp_values = Vec::new();
+    let started = Instant::now();
+    interp(xs, &mut interp_values);
+    let interp_seconds = started.elapsed().as_secs_f64();
+
+    let mut kernel_values = Vec::new();
+    let started = Instant::now();
+    kernel(xs, &mut kernel_values);
+    let kernel_seconds = started.elapsed().as_secs_f64();
+
+    let identical = interp_values.len() == kernel_values.len()
+        && interp_values
+            .iter()
+            .zip(&kernel_values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let per_eval = |seconds: f64| seconds * 1.0e9 / xs.len().max(1) as f64;
+    WorkloadReport {
+        workload: name.to_string(),
+        points: xs.len(),
+        straightline,
+        interp_seconds,
+        kernel_seconds,
+        speedup: interp_seconds / kernel_seconds.max(1e-12),
+        interp_ns_per_eval: per_eval(interp_seconds),
+        kernel_ns_per_eval: per_eval(kernel_seconds),
+        identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::env::var("WDM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4)
+        });
+    let n = if smoke { 20_000 } else { 400_000 };
+
+    println!(
+        "Lanewise-kernel speedup experiment ({} mode, {n} points, {threads} workers)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let horner_interp = boundary_wd(fpir::programs::horner_program(24), KernelPolicy::Never);
+    let horner_kernel = boundary_wd(fpir::programs::horner_program(24), KernelPolicy::Always);
+    let fig2_interp = boundary_wd(fpir::programs::fig2_program(), KernelPolicy::Never);
+    let fig2_kernel = boundary_wd(fpir::programs::fig2_program(), KernelPolicy::Always);
+    let fig1b_interp = boundary_wd(fpir::programs::fig1b_program(), KernelPolicy::Never);
+    let fig1b_kernel = boundary_wd(fpir::programs::fig1b_program(), KernelPolicy::Always);
+
+    let narrow = grid(n, -2.0, 2.0);
+    let wide = grid(n, -50.0, 50.0);
+    let mut workloads = vec![
+        time_workload(
+            "kernel/horner24",
+            true,
+            &narrow,
+            |xs, out| horner_interp.eval_batch(xs, out),
+            |xs, out| horner_kernel.eval_batch(xs, out),
+        ),
+        time_workload(
+            "kernel/fig2",
+            false,
+            &wide,
+            |xs, out| fig2_interp.eval_batch(xs, out),
+            |xs, out| fig2_kernel.eval_batch(xs, out),
+        ),
+        time_workload(
+            "kernel/fig1b",
+            false,
+            &wide,
+            |xs, out| fig1b_interp.eval_batch(xs, out),
+            |xs, out| fig1b_kernel.eval_batch(xs, out),
+        ),
+    ];
+
+    let interp_objective = WeakDistanceObjective::new(&horner_interp);
+    let kernel_objective = WeakDistanceObjective::new(&horner_kernel);
+    let pooled = PooledObjective::new(&kernel_objective, threads);
+    workloads.push(time_workload(
+        "pooled/horner24",
+        true,
+        &narrow,
+        |xs, out| interp_objective.eval_batch(xs, out),
+        |xs, out| pooled.eval_batch(xs, out),
+    ));
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>8}  identical",
+        "workload", "points", "interp ns/e", "kernel ns/e", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<16} {:>9} {:>12.1} {:>12.1} {:>7.2}x  {}",
+            w.workload,
+            w.points,
+            w.interp_ns_per_eval,
+            w.kernel_ns_per_eval,
+            w.speedup,
+            if w.identical { "yes" } else { "NO" }
+        );
+    }
+
+    let kernel_faster_on_straightline = workloads
+        .iter()
+        .filter(|w| w.straightline)
+        .all(|w| w.kernel_ns_per_eval < w.interp_ns_per_eval);
+    let report = KernelReport {
+        smoke,
+        threads,
+        kernel_faster_on_straightline,
+        workloads,
+    };
+    wdm_bench::emit_json("kernel", &report);
+
+    if report.workloads.iter().any(|w| !w.identical) {
+        eprintln!("error: kernel values diverged from the interpreter path");
+        std::process::exit(1);
+    }
+    if !report.kernel_faster_on_straightline {
+        eprintln!(
+            "warning: kernel did not beat the batch interpreter on the \
+             straight-line workload in this run"
+        );
+    }
+}

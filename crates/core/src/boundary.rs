@@ -8,7 +8,9 @@
 
 use crate::driver::{minimize_weak_distance, AnalysisConfig, MinimizationRun, Outcome};
 use crate::weak_distance::WeakDistance;
-use fp_runtime::{Analyzable, BranchEvent, BranchId, Interval, Observer, ProbeControl};
+use fp_runtime::{
+    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
+};
 use std::collections::BTreeMap;
 
 /// How the per-branch residuals are folded into `w`.
@@ -73,6 +75,7 @@ impl Observer for BoundaryObserver {
 pub struct BoundaryWeakDistance<P> {
     program: P,
     mode: BoundaryMode,
+    kernel_policy: KernelPolicy,
 }
 
 impl<P: Analyzable> BoundaryWeakDistance<P> {
@@ -81,12 +84,21 @@ impl<P: Analyzable> BoundaryWeakDistance<P> {
         BoundaryWeakDistance {
             program,
             mode: BoundaryMode::Product,
+            kernel_policy: KernelPolicy::Auto,
         }
     }
 
     /// Selects a different folding mode.
     pub fn with_mode(mut self, mode: BoundaryMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Selects the batch backend ([`KernelPolicy::Auto`] by default).
+    /// Never changes values — only which bit-identical backend computes
+    /// them.
+    pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
         self
     }
 
@@ -112,14 +124,14 @@ impl<P: Analyzable> WeakDistance for BoundaryWeakDistance<P> {
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor();
-        out.clear();
-        out.reserve(xs.len());
-        for x in xs {
-            let mut obs = BoundaryObserver::new(self.mode);
-            session.execute_one(x, &mut obs);
-            out.push(obs.w);
-        }
+        let mut session = self.program.batch_executor(self.kernel_policy);
+        crate::weak_distance::batch_observed(
+            session.as_mut(),
+            xs,
+            || BoundaryObserver::new(self.mode),
+            |obs| obs.w,
+            out,
+        );
     }
 
     fn description(&self) -> String {
@@ -177,6 +189,7 @@ impl<P: Analyzable> BoundaryAnalysis<P> {
         let wd = BoundaryWeakDistance {
             program: &self.program,
             mode: BoundaryMode::Product,
+            kernel_policy: config.kernel_policy,
         };
         minimize_weak_distance(&wd, config)
     }
@@ -186,6 +199,7 @@ impl<P: Analyzable> BoundaryAnalysis<P> {
         let wd = BoundaryWeakDistance {
             program: &self.program,
             mode: BoundaryMode::Single(site),
+            kernel_policy: config.kernel_policy,
         };
         minimize_weak_distance(&wd, config).outcome
     }
@@ -299,6 +313,29 @@ mod tests {
         wd.eval_batch(&xs, &mut out);
         for (x, &batched) in xs.iter().zip(&out) {
             assert_eq!(batched.to_bits(), wd.eval(x).to_bits(), "at {x:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_policy_never_changes_weak_distance_values() {
+        // The same interpreted program through all three batch backends:
+        // interpreter session (`Never`), lanewise kernel (`Always`) and
+        // the automatic pick — every value bit-identical to scalar eval.
+        let xs: Vec<Vec<f64>> = (-60..60).map(|i| vec![i as f64 * 0.13]).collect();
+        for policy in [KernelPolicy::Never, KernelPolicy::Always, KernelPolicy::Auto] {
+            let program =
+                fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+                    .expect("entry exists");
+            let wd = BoundaryWeakDistance::new(program).with_kernel_policy(policy);
+            let mut out = Vec::new();
+            wd.eval_batch(&xs, &mut out);
+            for (x, &batched) in xs.iter().zip(&out) {
+                assert_eq!(
+                    batched.to_bits(),
+                    wd.eval(x).to_bits(),
+                    "{policy:?} at {x:?}"
+                );
+            }
         }
     }
 

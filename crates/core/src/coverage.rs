@@ -9,7 +9,8 @@
 use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
 use crate::weak_distance::WeakDistance;
 use fp_runtime::{
-    Analyzable, BranchCoverage, BranchEvent, BranchId, Interval, Observer, ProbeControl,
+    Analyzable, BranchCoverage, BranchEvent, BranchId, Interval, KernelPolicy, Observer,
+    ProbeControl,
 };
 use std::collections::BTreeSet;
 
@@ -46,12 +47,25 @@ impl Observer for CoverageObserver<'_> {
 pub struct CoverageWeakDistance<P> {
     program: P,
     covered: BTreeSet<(BranchId, bool)>,
+    kernel_policy: KernelPolicy,
 }
 
 impl<P: Analyzable> CoverageWeakDistance<P> {
     /// Creates the weak distance for the given covered set `B`.
     pub fn new(program: P, covered: BTreeSet<(BranchId, bool)>) -> Self {
-        CoverageWeakDistance { program, covered }
+        CoverageWeakDistance {
+            program,
+            covered,
+            kernel_policy: KernelPolicy::Auto,
+        }
+    }
+
+    /// Selects the batch backend ([`KernelPolicy::Auto`] by default).
+    /// Never changes values — only which bit-identical backend computes
+    /// them.
+    pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
+        self
     }
 }
 
@@ -74,17 +88,17 @@ impl<P: Analyzable> WeakDistance for CoverageWeakDistance<P> {
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor();
-        out.clear();
-        out.reserve(xs.len());
-        for x in xs {
-            let mut obs = CoverageObserver {
+        let mut session = self.program.batch_executor(self.kernel_policy);
+        crate::weak_distance::batch_observed(
+            session.as_mut(),
+            xs,
+            || CoverageObserver {
                 covered: &self.covered,
                 w: UNREACHED_PENALTY,
-            };
-            session.execute_one(x, &mut obs);
-            out.push(obs.w);
-        }
+            },
+            |obs| obs.w,
+            out,
+        );
     }
 
     fn description(&self) -> String {
@@ -148,6 +162,7 @@ impl<P: Analyzable> CoverageAnalysis<P> {
             let wd = CoverageWeakDistance {
                 program: &self.program,
                 covered: covered.clone(),
+                kernel_policy: config.kernel_policy,
             };
             let round_config = AnalysisConfig {
                 seed: config.seed.wrapping_add(rounds as u64 * 104_729),

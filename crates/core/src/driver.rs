@@ -40,6 +40,7 @@
 //! sharding for the lowest time-to-first-solution.
 
 use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
+use fp_runtime::KernelPolicy;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use wdm_mo::{
     BasinHopping, CancelToken, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart,
@@ -117,6 +118,15 @@ pub struct AnalysisConfig {
     /// bit-identical for every value — parallelism only changes wall-clock
     /// time.
     pub parallelism: usize,
+    /// Which batch backend the weak distances request from the program
+    /// under analysis ([`Analyzable::batch_executor`]): under
+    /// [`KernelPolicy::Auto`] eligible `fpir` modules evaluate batches on
+    /// the lanewise SoA kernel. Like `parallelism`, the policy never
+    /// changes outcomes — every backend is bit-identical — only throughput.
+    ///
+    /// [`Analyzable::batch_executor`]: fp_runtime::Analyzable::batch_executor
+    /// [`KernelPolicy::Auto`]: fp_runtime::KernelPolicy::Auto
+    pub kernel_policy: KernelPolicy,
 }
 
 impl AnalysisConfig {
@@ -130,6 +140,7 @@ impl AnalysisConfig {
             record_samples: false,
             sample_stride: 1,
             parallelism: 1,
+            kernel_policy: KernelPolicy::Auto,
         }
     }
 
@@ -143,6 +154,7 @@ impl AnalysisConfig {
             record_samples: false,
             sample_stride: 1,
             parallelism: 1,
+            kernel_policy: KernelPolicy::Auto,
         }
     }
 
@@ -175,6 +187,15 @@ impl AnalysisConfig {
     /// sequential). Does not change the outcome, only the wall-clock time.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the kernel policy the weak distances pass to
+    /// [`Analyzable::batch_executor`](fp_runtime::Analyzable::batch_executor).
+    /// Does not change the outcome — only which (bit-identical) batch
+    /// backend evaluates the program.
+    pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
         self
     }
 

@@ -11,7 +11,9 @@
 
 use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
 use crate::weak_distance::WeakDistance;
-use fp_runtime::{Analyzable, Interval, Observer, OpEvent, OpId, OpSite, ProbeControl};
+use fp_runtime::{
+    Analyzable, Interval, KernelPolicy, Observer, OpEvent, OpId, OpSite, ProbeControl,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Value of `w` when no tracked operation executed at all.
@@ -48,12 +50,25 @@ impl Observer for OverflowObserver<'_> {
 pub struct OverflowWeakDistance<P> {
     program: P,
     skip: BTreeSet<OpId>,
+    kernel_policy: KernelPolicy,
 }
 
 impl<P: Analyzable> OverflowWeakDistance<P> {
     /// Creates the weak distance with handled-site set `skip`.
     pub fn new(program: P, skip: BTreeSet<OpId>) -> Self {
-        OverflowWeakDistance { program, skip }
+        OverflowWeakDistance {
+            program,
+            skip,
+            kernel_policy: KernelPolicy::Auto,
+        }
+    }
+
+    /// Selects the batch backend ([`KernelPolicy::Auto`] by default).
+    /// Never changes values — only which bit-identical backend computes
+    /// them.
+    pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
+        self
     }
 
     /// Evaluates and also reports the last tracked site — the `target`
@@ -86,19 +101,19 @@ impl<P: Analyzable> WeakDistance for OverflowWeakDistance<P> {
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor();
-        out.clear();
-        out.reserve(xs.len());
-        for x in xs {
-            let mut obs = OverflowObserver {
+        let mut session = self.program.batch_executor(self.kernel_policy);
+        crate::weak_distance::batch_observed(
+            session.as_mut(),
+            xs,
+            || OverflowObserver {
                 skip: &self.skip,
                 w: NO_TRACKED_OP,
                 last_tracked: None,
                 overflowed_at: None,
-            };
-            session.execute_one(x, &mut obs);
-            out.push(obs.w);
-        }
+            },
+            |obs| obs.w,
+            out,
+        );
     }
 
     fn description(&self) -> String {
@@ -192,7 +207,8 @@ impl<P: Analyzable> OverflowDetector<P> {
 
         while handled.len() < all_ids.len() && rounds < max_rounds {
             rounds += 1;
-            let wd = OverflowWeakDistance::new(&self.program, handled.clone());
+            let wd = OverflowWeakDistance::new(&self.program, handled.clone())
+                .with_kernel_policy(config.kernel_policy);
             let round_config = AnalysisConfig {
                 seed: config.seed.wrapping_add(rounds as u64 * 7919),
                 ..config.clone()

@@ -8,7 +8,10 @@
 
 use crate::driver::{minimize_weak_distance, AnalysisConfig, MinimizationRun, Outcome};
 use crate::weak_distance::WeakDistance;
-use fp_runtime::{Analyzable, BranchEvent, BranchId, Interval, Observer, ProbeControl, TraceRecorder};
+use fp_runtime::{
+    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
+    TraceRecorder,
+};
 use std::collections::BTreeSet;
 
 /// A (partial) path: the branch sites that must execute and the direction
@@ -41,12 +44,25 @@ impl Observer for PathObserver<'_> {
 pub struct PathWeakDistance<P> {
     program: P,
     path: Path,
+    kernel_policy: KernelPolicy,
 }
 
 impl<P: Analyzable> PathWeakDistance<P> {
     /// Creates the weak distance for the given required path.
     pub fn new(program: P, path: Path) -> Self {
-        PathWeakDistance { program, path }
+        PathWeakDistance {
+            program,
+            path,
+            kernel_policy: KernelPolicy::Auto,
+        }
+    }
+
+    /// Selects the batch backend ([`KernelPolicy::Auto`] by default).
+    /// Never changes values — only which bit-identical backend computes
+    /// them.
+    pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
+        self.kernel_policy = kernel_policy;
+        self
     }
 }
 
@@ -72,20 +88,22 @@ impl<P: Analyzable> WeakDistance for PathWeakDistance<P> {
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor();
+        let mut session = self.program.batch_executor(self.kernel_policy);
         let required: BTreeSet<BranchId> = self.path.iter().map(|(s, _)| *s).collect();
-        out.clear();
-        out.reserve(xs.len());
-        for x in xs {
-            let mut obs = PathObserver {
+        crate::weak_distance::batch_observed(
+            session.as_mut(),
+            xs,
+            || PathObserver {
                 path: &self.path,
                 w: 0.0,
                 reached: BTreeSet::new(),
-            };
-            session.execute_one(x, &mut obs);
-            let missing = required.difference(&obs.reached).count();
-            out.push(obs.w + missing as f64 * UNREACHED_PENALTY);
-        }
+            },
+            |obs| {
+                let missing = required.difference(&obs.reached).count();
+                obs.w + missing as f64 * UNREACHED_PENALTY
+            },
+            out,
+        );
     }
 
     fn description(&self) -> String {
@@ -125,6 +143,7 @@ impl<P: Analyzable> PathAnalysis<P> {
         let wd = PathWeakDistance {
             program: &self.program,
             path: path.clone(),
+            kernel_policy: config.kernel_policy,
         };
         minimize_weak_distance(&wd, config)
     }

@@ -1,7 +1,42 @@
 //! The weak-distance abstraction (Definition 3.1).
 
-use fp_runtime::Interval;
+use fp_runtime::{BatchExecutor, Interval, Observer};
 use wdm_mo::Objective;
+
+/// How many inputs the analysis instances hand to
+/// [`BatchExecutor::execute_many`] at once. One fpir kernel wave
+/// (`fpir::kernel::WAVE_LANES`), so the lanewise backend always runs full
+/// waves while the per-chunk observer storage stays small enough to be
+/// cache-hot for cheap scalar-session programs.
+const OBSERVER_CHUNK: usize = 256;
+
+/// Runs every input of `xs` through `session` with a fresh observer each
+/// (built by `make`), folding each finished observer into the weak-distance
+/// value with `fold`. Inputs are fed in [`OBSERVER_CHUNK`]-sized groups;
+/// per-input results and events are bit-identical to looping
+/// [`BatchExecutor::execute_one`] whatever the chunking.
+pub(crate) fn batch_observed<O: Observer>(
+    session: &mut dyn BatchExecutor,
+    xs: &[Vec<f64>],
+    mut make: impl FnMut() -> O,
+    mut fold: impl FnMut(O) -> f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(xs.len());
+    let mut observers: Vec<O> = Vec::with_capacity(OBSERVER_CHUNK.min(xs.len()));
+    let mut results = Vec::new();
+    for chunk in xs.chunks(OBSERVER_CHUNK) {
+        observers.clear();
+        observers.extend(chunk.iter().map(|_| make()));
+        let mut refs: Vec<&mut dyn Observer> = observers
+            .iter_mut()
+            .map(|o| o as &mut dyn Observer)
+            .collect();
+        session.execute_many(chunk, &mut refs, &mut results);
+        out.extend(observers.drain(..).map(&mut fold));
+    }
+}
 
 /// A weak distance of a floating-point analysis problem ⟨Prog; S⟩:
 /// a program `W : dom(Prog) → F` such that

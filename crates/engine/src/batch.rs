@@ -147,6 +147,44 @@ mod tests {
     }
 
     #[test]
+    fn pooled_kernel_backed_weak_distance_is_thread_count_invariant() {
+        // Threads × lanes: each worker slice reaches the weak distance's
+        // `eval_batch`, which runs the fpir lanewise kernel — so the wave
+        // executes under every thread count and must stay bit-identical to
+        // the sequential interpreter path.
+        use fp_runtime::KernelPolicy;
+        use wdm_core::boundary::BoundaryWeakDistance;
+        use wdm_core::weak_distance::{WeakDistance, WeakDistanceObjective};
+
+        let program = fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+            .expect("entry exists");
+        assert!(program.kernel_eligible());
+        let kernel_wd =
+            BoundaryWeakDistance::new(program).with_kernel_policy(KernelPolicy::Always);
+        let xs: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 * 0.11 - 27.0]).collect();
+
+        // Reference: interpreter session, sequential.
+        let scalar_program =
+            fpir::interp::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+                .expect("entry exists");
+        let scalar_wd =
+            BoundaryWeakDistance::new(scalar_program).with_kernel_policy(KernelPolicy::Never);
+        let mut expected = Vec::new();
+        scalar_wd.eval_batch(&xs, &mut expected);
+
+        let objective = WeakDistanceObjective::new(&kernel_wd);
+        for threads in [1, 2, 8] {
+            let pooled = PooledObjective::new(&objective, threads);
+            let mut out = Vec::new();
+            pooled.eval_batch(&xs, &mut out);
+            assert_eq!(out.len(), expected.len());
+            for (i, (a, b)) in out.iter().zip(&expected).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}, point {i}");
+            }
+        }
+    }
+
+    #[test]
     fn diffevo_over_a_pooled_objective_is_thread_count_invariant() {
         // A whole backend run through the pooled objective: generation
         // batches spread over workers, results bit-identical to 1 thread.

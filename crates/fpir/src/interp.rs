@@ -20,8 +20,11 @@
 //! evaluation boundary. A cancelled execution returns
 //! [`ExecError::Cancelled`].
 
-use crate::ir::{FuncId, Inst, Module, Terminator};
-use fp_runtime::{Analyzable, BatchExecutor, BranchSite, CancelToken, Ctx, Interval, Observer, OpSite};
+use crate::ir::{BlockId, FuncId, Inst, Module, Terminator};
+use fp_runtime::{
+    Analyzable, BatchExecutor, BranchSite, CancelToken, Ctx, Interval, KernelPolicy, Observer,
+    OpSite,
+};
 use std::fmt;
 
 /// How often (in executed instructions) the interpreter polls its
@@ -90,7 +93,7 @@ impl Default for Interpreter {
     }
 }
 
-struct ExecState<'a> {
+pub(crate) struct ExecState<'a> {
     globals: Vec<f64>,
     fuel: u64,
     max_depth: usize,
@@ -102,7 +105,7 @@ struct ExecState<'a> {
 }
 
 impl<'a> ExecState<'a> {
-    fn new(interpreter: &'a Interpreter, module: &'a Module) -> Self {
+    pub(crate) fn new(interpreter: &'a Interpreter, module: &'a Module) -> Self {
         ExecState {
             globals: module.globals.iter().map(|g| g.init).collect(),
             fuel: interpreter.fuel,
@@ -113,9 +116,34 @@ impl<'a> ExecState<'a> {
         }
     }
 
+    /// A state for resuming one lane of the lanewise kernel on the scalar
+    /// interpreter: the lane's globals and the fuel it has left, exactly as
+    /// a from-scratch scalar execution would hold at the same point.
+    pub(crate) fn for_resume(
+        interpreter: &'a Interpreter,
+        module: &'a Module,
+        fuel: u64,
+        globals: Vec<f64>,
+    ) -> Self {
+        ExecState {
+            globals,
+            fuel,
+            max_depth: interpreter.max_call_depth,
+            module,
+            cancel: &interpreter.cancel,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Hands the globals buffer back, so the lanewise kernel can recycle
+    /// the allocation across lane resumes.
+    pub(crate) fn into_globals(self) -> Vec<f64> {
+        self.globals
+    }
+
     /// Rearms the state for the next input of a batch: fresh fuel, globals
     /// back to their initial values. Pooled frames stay pooled.
-    fn reset(&mut self, interpreter: &Interpreter) {
+    pub(crate) fn reset(&mut self, interpreter: &Interpreter) {
         self.fuel = interpreter.fuel;
         self.globals.clear();
         self.globals.extend(self.module.globals.iter().map(|g| g.init));
@@ -253,7 +281,7 @@ impl Interpreter {
         Ok(results)
     }
 
-    fn exec_function(
+    pub(crate) fn exec_function(
         state: &mut ExecState<'_>,
         func: FuncId,
         args: &[f64],
@@ -265,24 +293,37 @@ impl Interpreter {
         }
         let function = state.module.function(func);
         let mut regs = state.take_frame(function.num_regs);
-        let result = Self::exec_in_frame(state, func, &mut regs, args, ctx, depth);
+        let result =
+            Self::exec_in_frame(state, func, &mut regs, args, ctx, depth, function.entry(), 0);
         state.put_frame(regs);
         result
     }
 
-    fn exec_in_frame(
+    /// The interpreter core loop, entered at `(start_block, start_inst)`.
+    ///
+    /// Fresh executions enter at `(entry, 0)`; the lanewise kernel enters
+    /// mid-function to finish a lane that left the lockstep wave (a
+    /// divergent branch, an observer stop, an unsupported instruction) with
+    /// the lane's registers, globals and remaining fuel carried over — so
+    /// the continuation is bit-identical to having interpreted the lane
+    /// from scratch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_in_frame(
         state: &mut ExecState<'_>,
         func: FuncId,
         regs: &mut [f64],
         args: &[f64],
         ctx: &mut Ctx<'_>,
         depth: usize,
+        start_block: BlockId,
+        start_inst: usize,
     ) -> Result<Option<f64>, ExecError> {
         let function = state.module.function(func);
-        let mut block = function.entry();
+        let mut block = start_block;
+        let mut first = start_inst;
         loop {
             let b = function.block(block);
-            for inst in &b.insts {
+            for inst in &b.insts[first.min(b.insts.len())..] {
                 state.tick()?;
                 if ctx.stopped() {
                     return Ok(None);
@@ -342,6 +383,7 @@ impl Interpreter {
                     Inst::StoreGlobal { global, src } => state.globals[global.0] = regs[src.0],
                 }
             }
+            first = 0;
             state.tick()?;
             match &b.term {
                 Terminator::Jump(next) => block = *next,
@@ -437,6 +479,21 @@ impl ModuleProgram {
         self.entry
     }
 
+    /// The interpreter configuration (fuel, call depth, cancellation),
+    /// shared with the lanewise kernel so both backends stop at exactly
+    /// the same points.
+    pub(crate) fn interpreter(&self) -> &Interpreter {
+        &self.interpreter
+    }
+
+    /// Whether [`Analyzable::batch_executor`] hands out the lanewise kernel
+    /// under [`KernelPolicy::Auto`]: the entry function must be call-free
+    /// (calls execute per lane on the scalar interpreter, so a call-heavy
+    /// module gains nothing from the wave).
+    pub fn kernel_eligible(&self) -> bool {
+        crate::kernel::supports_lanewise(&self.module, self.entry)
+    }
+
     /// Executes the entry function and also returns the final global values.
     ///
     /// # Errors
@@ -453,6 +510,26 @@ impl ModuleProgram {
     }
 }
 
+/// One scalar-session execution: the arity check, state rearm and
+/// entry-function run shared by the interpreter session and the lanewise
+/// kernel's [`BatchExecutor::execute_one`] — one definition, so the two
+/// backends cannot drift apart.
+pub(crate) fn run_session_one(
+    program: &ModuleProgram,
+    state: &mut ExecState<'_>,
+    input: &[f64],
+    observer: &mut dyn Observer,
+) -> Option<f64> {
+    if input.len() != program.module.function(program.entry).num_params {
+        return None;
+    }
+    state.reset(&program.interpreter);
+    let mut ctx = Ctx::new(observer);
+    Interpreter::exec_function(state, program.entry, input, &mut ctx, 0)
+        .ok()
+        .flatten()
+}
+
 /// The batch-interpret session handed out by [`ModuleProgram`]'s
 /// [`Analyzable::batch_executor`]: one [`ExecState`] (globals buffer +
 /// register-frame pool) reused across every input of the batch.
@@ -463,15 +540,7 @@ struct InterpSession<'a> {
 
 impl BatchExecutor for InterpSession<'_> {
     fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64> {
-        let function = self.state.module.function(self.program.entry);
-        if input.len() != function.num_params {
-            return None;
-        }
-        self.state.reset(&self.program.interpreter);
-        let mut ctx = Ctx::new(observer);
-        Interpreter::exec_function(&mut self.state, self.program.entry, input, &mut ctx, 0)
-            .ok()
-            .flatten()
+        run_session_one(self.program, &mut self.state, input, observer)
     }
 }
 
@@ -526,11 +595,24 @@ impl Analyzable for ModuleProgram {
             .flatten()
     }
 
-    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
-        Box::new(InterpSession {
-            state: ExecState::new(&self.interpreter, &self.module),
-            program: self,
-        })
+    /// Selects the batch backend: the lanewise SoA kernel
+    /// ([`crate::kernel::KernelExecutor`]) when the policy and the module
+    /// allow it, the per-input interpreter session otherwise. Both are
+    /// bit-identical to [`Interpreter::execute`] per input.
+    fn batch_executor(&self, policy: KernelPolicy) -> Box<dyn BatchExecutor + '_> {
+        let use_kernel = match policy {
+            KernelPolicy::Never => false,
+            KernelPolicy::Always => true,
+            KernelPolicy::Auto => self.kernel_eligible(),
+        };
+        if use_kernel {
+            Box::new(crate::kernel::KernelExecutor::new(self))
+        } else {
+            Box::new(InterpSession {
+                state: ExecState::new(&self.interpreter, &self.module),
+                program: self,
+            })
+        }
     }
 }
 
@@ -815,7 +897,10 @@ mod tests {
         let p = ModuleProgram::new(mb.build(), "main").unwrap();
 
         let inputs: Vec<Vec<f64>> = vec![vec![-3.0], vec![2.0], vec![-0.5]];
-        let mut session = p.batch_executor();
+        // The module calls a helper, so `Auto` resolves to the interpreter
+        // session rather than the lanewise kernel.
+        assert!(!p.kernel_eligible());
+        let mut session = p.batch_executor(KernelPolicy::Auto);
         for input in &inputs {
             let mut batch_rec = TraceRecorder::new();
             let batched = session.execute_one(input, &mut batch_rec);

@@ -1,0 +1,836 @@
+//! The lanewise structure-of-arrays kernel backend.
+//!
+//! The batch seam introduced by the batched-evaluation stack
+//! ([`fp_runtime::BatchExecutor`]) lets a program amortize per-execution
+//! setup over a whole batch. This module goes one step further and
+//! amortizes the *interpretation* itself: [`KernelExecutor`] specializes a
+//! module into a lane-parallel kernel that executes one instruction for
+//! **all** inputs of a wave before moving to the next instruction, instead
+//! of interpreting the whole program once per input.
+//!
+//! # Layout and execution model
+//!
+//! The register file is operand-major (structure of arrays): one
+//! contiguous run of `lanes` binary64 values per virtual register, so the
+//! per-opcode dispatch (`match inst`) runs once per instruction and the
+//! inner loop over lanes is a tight stride-1 sweep — the compute-engine
+//! layering of SIMT runtimes (cf. kubecl), scaled down to a CPU
+//! interpreter. Global cells use the same layout. All lanes of a wave run
+//! in lockstep and therefore share a single fuel counter and cancellation
+//! poll schedule, which keeps the kernel's out-of-fuel and cancellation
+//! behavior bit-identical to interpreting each input on its own.
+//!
+//! # Divergence and the scalar fallback
+//!
+//! Lanes leave the lockstep wave in three ways, all handled by resuming
+//! the lane on the scalar interpreter from its exact machine state
+//! (registers, globals, remaining fuel, probe context):
+//!
+//! * a **divergent branch** — the wave follows the better-populated side
+//!   of a conditional branch; the other side's lanes finish scalar;
+//! * an **observer stop** — a probe returned [`ProbeControl::Stop`]
+//!   (e.g. the overflow weak distance found its overflow); the scalar
+//!   resume reproduces the interpreter's stop-at-next-instruction (and
+//!   run-the-terminator) behavior exactly;
+//! * an **unsupported instruction** — `call` executes per lane on the
+//!   scalar interpreter, so modules whose entry function calls helpers
+//!   are only selected under [`KernelPolicy::Always`]
+//!   ([`KernelPolicy::Auto`] picks the plain interpreter session for
+//!   them; see [`supports_lanewise`]).
+//!
+//! Because each input owns its observer and IEEE lane operations are
+//! deterministic, straight-line specialization preserves every bit: the
+//! values, the per-input event streams and the stop/cancellation behavior
+//! are all identical to [`Interpreter::execute`] — the workspace-level
+//! `kernel_equivalence` proptests pin this down across every weak-distance
+//! kind.
+//!
+//! [`ProbeControl::Stop`]: fp_runtime::ProbeControl::Stop
+//! [`KernelPolicy::Always`]: fp_runtime::KernelPolicy::Always
+//! [`KernelPolicy::Auto`]: fp_runtime::KernelPolicy::Auto
+//! [`Interpreter::execute`]: crate::Interpreter::execute
+
+use crate::interp::{run_session_one, ExecState, Interpreter, ModuleProgram, CANCEL_POLL_INTERVAL};
+use crate::ir::{BlockId, FuncId, Inst, Module, Terminator};
+use fp_runtime::{BatchExecutor, CancelToken, Ctx, Observer};
+
+/// Maximum number of lanes executed in one lockstep wave. Bounds the SoA
+/// register file to `num_regs * WAVE_LANES` values while amortizing the
+/// per-instruction dispatch over enough lanes to make it disappear.
+pub const WAVE_LANES: usize = 256;
+
+/// Whether the lanewise kernel can specialize `entry` of `module` into a
+/// wave: the entry function must be call-free (a `call` makes every lane
+/// fall back to the scalar interpreter, so there is nothing to gain).
+/// This is the eligibility test behind [`fp_runtime::KernelPolicy::Auto`].
+pub fn supports_lanewise(module: &Module, entry: FuncId) -> bool {
+    module
+        .function(entry)
+        .blocks
+        .iter()
+        .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
+}
+
+/// The lanewise SoA kernel session handed out by
+/// [`ModuleProgram`]'s [`fp_runtime::Analyzable::batch_executor`] under a
+/// kernel-selecting policy.
+///
+/// Scratch buffers (register file, global file, lane masks) are owned by
+/// the session and reused across waves, so a long batch allocates a
+/// constant amount of memory.
+pub struct KernelExecutor<'a> {
+    program: &'a ModuleProgram,
+    /// Whether the entry function is call-free ([`supports_lanewise`]):
+    /// when it is not, every wave evicts all lanes at the first `call`,
+    /// so batches effectively run on the scalar resume path.
+    lanewise: bool,
+    /// Scalar interpreter session backing [`BatchExecutor::execute_one`].
+    scalar: ExecState<'a>,
+    /// SoA register file: `regs[r * lanes + lane]`.
+    regs: Vec<f64>,
+    /// SoA global cells: `globals[g * lanes + lane]`.
+    globals: Vec<f64>,
+    /// Lanes still executing in lockstep.
+    active: Vec<usize>,
+    then_lanes: Vec<usize>,
+    else_lanes: Vec<usize>,
+    evicted: Vec<usize>,
+    /// One lane's registers/globals, recycled across scalar resumes so an
+    /// eviction allocates nothing (amortized).
+    lane_regs: Vec<f64>,
+    lane_globals: Vec<f64>,
+}
+
+impl<'a> KernelExecutor<'a> {
+    /// Creates a kernel session over `program`.
+    pub fn new(program: &'a ModuleProgram) -> Self {
+        KernelExecutor {
+            lanewise: supports_lanewise(program.module(), program.entry()),
+            scalar: ExecState::new(program.interpreter(), program.module()),
+            program,
+            regs: Vec::new(),
+            globals: Vec::new(),
+            active: Vec::new(),
+            then_lanes: Vec::new(),
+            else_lanes: Vec::new(),
+            evicted: Vec::new(),
+            lane_regs: Vec::new(),
+            lane_globals: Vec::new(),
+        }
+    }
+
+    /// Whether batches stay lanewise to the end (`false` means the entry
+    /// function contains calls, so every wave hands its lanes to the
+    /// scalar resume path at the first `call` — correct, but with nothing
+    /// left to amortize; [`fp_runtime::KernelPolicy::Auto`] picks the
+    /// plain interpreter session for such modules).
+    pub fn is_lanewise(&self) -> bool {
+        self.lanewise
+    }
+}
+
+impl BatchExecutor for KernelExecutor<'_> {
+    fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64> {
+        run_session_one(self.program, &mut self.scalar, input, observer)
+    }
+
+    fn execute_many(
+        &mut self,
+        inputs: &[Vec<f64>],
+        observers: &mut [&mut dyn Observer],
+        results: &mut Vec<Option<f64>>,
+    ) {
+        assert_eq!(
+            inputs.len(),
+            observers.len(),
+            "one observer is required per batch input"
+        );
+        results.clear();
+        results.resize(inputs.len(), None);
+        let mut offset = 0;
+        while offset < inputs.len() {
+            let width = WAVE_LANES.min(inputs.len() - offset);
+            let end = offset + width;
+            let Self {
+                program,
+                regs,
+                globals,
+                active,
+                then_lanes,
+                else_lanes,
+                evicted,
+                lane_regs,
+                lane_globals,
+                ..
+            } = self;
+            run_wave(
+                program,
+                WaveScratch {
+                    regs,
+                    globals,
+                    active,
+                    then_lanes,
+                    else_lanes,
+                    evicted,
+                    lane_regs,
+                    lane_globals,
+                },
+                &inputs[offset..end],
+                &mut observers[offset..end],
+                &mut results[offset..end],
+            );
+            offset = end;
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelExecutor")
+            .field("lanewise", &self.lanewise)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The session-owned scratch buffers a wave runs in.
+struct WaveScratch<'s> {
+    regs: &'s mut Vec<f64>,
+    globals: &'s mut Vec<f64>,
+    active: &'s mut Vec<usize>,
+    then_lanes: &'s mut Vec<usize>,
+    else_lanes: &'s mut Vec<usize>,
+    evicted: &'s mut Vec<usize>,
+    lane_regs: &'s mut Vec<f64>,
+    lane_globals: &'s mut Vec<f64>,
+}
+
+/// One shared fuel/cancellation tick for the whole lockstep wave; returns
+/// `true` when the wave must abort (out of fuel, or cancellation observed
+/// at the same poll points as the scalar interpreter's
+/// [`ExecState::tick`]). All lockstep lanes have consumed exactly the same
+/// fuel, so one counter stands in for all of them.
+fn wave_tick(fuel: &mut u64, cancel: &CancelToken) -> bool {
+    if *fuel == 0 {
+        return true;
+    }
+    *fuel -= 1;
+    fuel.is_multiple_of(CANCEL_POLL_INTERVAL) && cancel.is_cancelled()
+}
+
+/// Copies one lane's registers and globals out of the SoA files into the
+/// session's recycled scratch buffers, for the scalar resume path.
+fn extract_lane_into(
+    regs: &[f64],
+    globals: &[f64],
+    lanes: usize,
+    lane: usize,
+    lane_regs: &mut Vec<f64>,
+    lane_globals: &mut Vec<f64>,
+) {
+    lane_regs.clear();
+    lane_regs.extend((0..regs.len() / lanes).map(|r| regs[r * lanes + lane]));
+    lane_globals.clear();
+    lane_globals.extend((0..globals.len() / lanes).map(|g| globals[g * lanes + lane]));
+}
+
+/// Finishes one lane on the scalar interpreter from its exact wave state:
+/// the continuation is bit-identical to having interpreted the lane from
+/// scratch (same registers, globals, fuel and probe context). The scratch
+/// buffers are borrowed for the resume and handed back afterwards.
+#[allow(clippy::too_many_arguments)]
+fn resume_lane(
+    program: &ModuleProgram,
+    fuel: u64,
+    lane_regs: &mut [f64],
+    lane_globals: &mut Vec<f64>,
+    input: &[f64],
+    ctx: &mut Ctx<'_>,
+    block: BlockId,
+    inst: usize,
+) -> Option<f64> {
+    let mut state = ExecState::for_resume(
+        program.interpreter(),
+        program.module(),
+        fuel,
+        std::mem::take(lane_globals),
+    );
+    let result = Interpreter::exec_in_frame(
+        &mut state,
+        program.entry(),
+        lane_regs,
+        input,
+        ctx,
+        0,
+        block,
+        inst,
+    )
+    .ok()
+    .flatten();
+    *lane_globals = state.into_globals();
+    result
+}
+
+/// Executes up to [`WAVE_LANES`] inputs in lockstep over the entry
+/// function, writing one result per lane.
+fn run_wave(
+    program: &ModuleProgram,
+    scratch: WaveScratch<'_>,
+    inputs: &[Vec<f64>],
+    observers: &mut [&mut dyn Observer],
+    results: &mut [Option<f64>],
+) {
+    let module = program.module();
+    let interpreter = program.interpreter();
+    let function = module.function(program.entry());
+    let lanes = inputs.len();
+    let WaveScratch {
+        regs,
+        globals,
+        active,
+        then_lanes,
+        else_lanes,
+        evicted,
+        lane_regs,
+        lane_globals,
+    } = scratch;
+
+    // Each input gets its own probe context over its own observer, exactly
+    // like one scalar execution per input.
+    let mut ctxs: Vec<Ctx<'_>> = observers.iter_mut().map(|o| Ctx::new(&mut **o)).collect();
+
+    active.clear();
+    for (lane, input) in inputs.iter().enumerate() {
+        if input.len() == function.num_params {
+            active.push(lane);
+        }
+        // Arity mismatches keep their `None` result without reporting any
+        // event, matching the scalar session's pre-execution check.
+    }
+
+    regs.clear();
+    regs.resize(function.num_regs * lanes, 0.0);
+    globals.clear();
+    globals.reserve(module.globals.len() * lanes);
+    for g in &module.globals {
+        for _ in 0..lanes {
+            globals.push(g.init);
+        }
+    }
+
+    let mut fuel = interpreter.fuel;
+    let cancel = &interpreter.cancel;
+    let mut block = function.entry();
+
+    /// One lane leaves the wave: copy its state out of the SoA files and
+    /// finish it on the scalar interpreter from `(resume_block, resume_inst)`.
+    macro_rules! leave_wave {
+        ($lane:expr, $resume_block:expr, $resume_inst:expr) => {{
+            let lane = $lane;
+            extract_lane_into(regs, globals, lanes, lane, lane_regs, lane_globals);
+            results[lane] = resume_lane(
+                program,
+                fuel,
+                lane_regs,
+                lane_globals,
+                &inputs[lane],
+                &mut ctxs[lane],
+                $resume_block,
+                $resume_inst,
+            );
+        }};
+    }
+
+    /// The sited-op protocol shared by the `Bin` and `Un` arms: apply the
+    /// op per lane (`$apply` maps a lane index to its value), report the
+    /// event, store the result, and evict lanes whose observer requested a
+    /// stop to the scalar resume path at the *next* instruction — the
+    /// scalar interpreter's stop-at-next-instruction (and
+    /// run-the-terminator) behavior.
+    macro_rules! sited_op {
+        ($site:expr, $event:expr, $dst:expr, $idx:expr, $apply:expr) => {{
+            evicted.clear();
+            for &lane in active.iter() {
+                let v = ($apply)(lane);
+                ctxs[lane].op($site.0, $event, v);
+                regs[$dst.0 * lanes + lane] = v;
+                if ctxs[lane].stopped() {
+                    evicted.push(lane);
+                }
+            }
+            if !evicted.is_empty() {
+                for i in 0..evicted.len() {
+                    leave_wave!(evicted[i], block, $idx + 1);
+                }
+                active.retain(|l| !evicted.contains(l));
+            }
+        }};
+    }
+
+    loop {
+        let b = function.block(block);
+        for (idx, inst) in b.insts.iter().enumerate() {
+            if active.is_empty() {
+                return;
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                // Calls run per lane on the scalar interpreter. Hand every
+                // remaining lane to the resume path *before* charging the
+                // instruction — the scalar loop charges it itself.
+                for &lane in active.iter() {
+                    leave_wave!(lane, block, idx);
+                }
+                active.clear();
+                return;
+            }
+            if wave_tick(&mut fuel, cancel) {
+                // Out of fuel or cancelled: every lockstep lane fails at
+                // the same instruction, like the scalar interpreter would.
+                for &lane in active.iter() {
+                    results[lane] = None;
+                }
+                active.clear();
+                return;
+            }
+            match inst {
+                Inst::Const { dst, value } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] = *value;
+                    }
+                }
+                Inst::Copy { dst, src } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] = regs[src.0 * lanes + lane];
+                    }
+                }
+                Inst::Param { dst, index } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] = inputs[lane][*index];
+                    }
+                }
+                Inst::Bin {
+                    dst,
+                    op,
+                    lhs,
+                    rhs,
+                    site,
+                } => match site {
+                    None => {
+                        for &lane in active.iter() {
+                            regs[dst.0 * lanes + lane] =
+                                op.apply(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane]);
+                        }
+                    }
+                    Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
+                        .apply(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane])),
+                },
+                Inst::Un { dst, op, arg, site } => match site {
+                    None => {
+                        for &lane in active.iter() {
+                            regs[dst.0 * lanes + lane] = op.apply(regs[arg.0 * lanes + lane]);
+                        }
+                    }
+                    Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
+                        .apply(regs[arg.0 * lanes + lane])),
+                },
+                Inst::Cmp { dst, cmp, lhs, rhs } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] =
+                            if cmp.eval(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane]) {
+                                1.0
+                            } else {
+                                0.0
+                            };
+                    }
+                }
+                Inst::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] = if regs[cond.0 * lanes + lane] != 0.0 {
+                            regs[if_true.0 * lanes + lane]
+                        } else {
+                            regs[if_false.0 * lanes + lane]
+                        };
+                    }
+                }
+                Inst::Call { .. } => unreachable!("calls are evicted before dispatch"),
+                Inst::LoadGlobal { dst, global } => {
+                    for &lane in active.iter() {
+                        regs[dst.0 * lanes + lane] = globals[global.0 * lanes + lane];
+                    }
+                }
+                Inst::StoreGlobal { global, src } => {
+                    for &lane in active.iter() {
+                        globals[global.0 * lanes + lane] = regs[src.0 * lanes + lane];
+                    }
+                }
+            }
+        }
+        if active.is_empty() {
+            return;
+        }
+        if wave_tick(&mut fuel, cancel) {
+            for &lane in active.iter() {
+                results[lane] = None;
+            }
+            active.clear();
+            return;
+        }
+        match &b.term {
+            Terminator::Jump(next) => block = *next,
+            Terminator::Return(val) => {
+                for &lane in active.iter() {
+                    results[lane] = val.map(|r| regs[r.0 * lanes + lane]);
+                }
+                active.clear();
+                return;
+            }
+            Terminator::CondBr {
+                site,
+                lhs,
+                cmp,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                then_lanes.clear();
+                else_lanes.clear();
+                for &lane in active.iter() {
+                    let l = regs[lhs.0 * lanes + lane];
+                    let r = regs[rhs.0 * lanes + lane];
+                    let taken = if let Some(s) = site {
+                        ctxs[lane].branch(s.0, l, *cmp, r)
+                    } else {
+                        cmp.eval(l, r)
+                    };
+                    if ctxs[lane].stopped() {
+                        // The scalar interpreter returns no result right
+                        // after a stop-requesting branch event.
+                        results[lane] = None;
+                    } else if taken {
+                        then_lanes.push(lane);
+                    } else {
+                        else_lanes.push(lane);
+                    }
+                }
+                // The wave follows the better-populated side (ties go to
+                // the then-side); the other side's lanes finish scalar.
+                let (next, stay, leave_bb, leave) = if then_lanes.len() >= else_lanes.len() {
+                    (*then_bb, &mut *then_lanes, *else_bb, &mut *else_lanes)
+                } else {
+                    (*else_bb, &mut *else_lanes, *then_bb, &mut *then_lanes)
+                };
+                for &lane in leave.iter() {
+                    leave_wave!(lane, leave_bb, 0);
+                }
+                std::mem::swap(active, stay);
+                block = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{BinOp, UnOp};
+    use fp_runtime::{
+        Analyzable, BranchEvent, Cmp, KernelPolicy, NullObserver, OpEvent, ProbeControl,
+        TraceRecorder,
+    };
+
+    /// `f(x) { if (x <= 1) x = x + 1; return x * x; }` — one divergent
+    /// branch, sited ops and branch.
+    fn square_gate() -> ModuleProgram {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("f", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let xvar = f.copy(x);
+        let then_bb = f.new_block();
+        let join = f.new_block();
+        f.cond_br(Some(0), xvar, Cmp::Le, one, then_bb, join);
+        f.switch_to(then_bb);
+        let inc = f.bin(BinOp::Add, xvar, one, Some(0));
+        f.assign(xvar, inc);
+        f.jump(join);
+        f.switch_to(join);
+        let sq = f.bin(BinOp::Mul, xvar, xvar, Some(1));
+        f.ret(Some(sq));
+        f.finish();
+        ModuleProgram::new(mb.build(), "f").expect("entry exists")
+    }
+
+    /// A straight-line module mixing every lanewise opcode except `call`.
+    fn straightline() -> ModuleProgram {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        let mut f = mb.function("f", 2);
+        let x = f.param(0);
+        let y = f.param(1);
+        let s = f.bin(BinOp::Add, x, y, Some(0));
+        let d = f.bin(BinOp::Sub, x, y, None);
+        let p = f.bin(BinOp::Mul, s, d, Some(1));
+        let a = f.un(UnOp::Abs, p, Some(2));
+        let r = f.un(UnOp::Sqrt, a, None);
+        let cmp = f.cmp(Cmp::Lt, r, s);
+        let sel = f.select(cmp, r, a);
+        let wv = f.load_global(w);
+        let prod = f.bin(BinOp::Mul, wv, sel, None);
+        f.store_global(w, prod);
+        let out = f.load_global(w);
+        f.ret(Some(out));
+        f.finish();
+        ModuleProgram::new(mb.build(), "f").expect("entry exists")
+    }
+
+    fn lane_inputs(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (i as f64 * 0.37 - 3.0) * (d as f64 + 1.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_kernel_matches_scalar(program: &ModuleProgram, inputs: &[Vec<f64>]) {
+        let mut session = program.batch_executor(KernelPolicy::Always);
+        let mut kernel_recs: Vec<TraceRecorder> =
+            inputs.iter().map(|_| TraceRecorder::new()).collect();
+        let mut refs: Vec<&mut dyn Observer> = kernel_recs
+            .iter_mut()
+            .map(|o| o as &mut dyn Observer)
+            .collect();
+        let mut results = Vec::new();
+        session.execute_many(inputs, &mut refs, &mut results);
+        for (lane, input) in inputs.iter().enumerate() {
+            let mut scalar_rec = TraceRecorder::new();
+            let scalar = program.run(input, &mut scalar_rec);
+            assert_eq!(
+                results[lane].map(f64::to_bits),
+                scalar.map(f64::to_bits),
+                "lane {lane} ({input:?})"
+            );
+            assert_eq!(
+                kernel_recs[lane].ops().collect::<Vec<_>>(),
+                scalar_rec.ops().collect::<Vec<_>>(),
+                "op events of lane {lane}"
+            );
+            assert_eq!(
+                kernel_recs[lane].branches().collect::<Vec<_>>(),
+                scalar_rec.branches().collect::<Vec<_>>(),
+                "branch events of lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn straightline_wave_is_bit_identical_to_scalar() {
+        let p = straightline();
+        assert!(p.kernel_eligible());
+        assert_kernel_matches_scalar(&p, &lane_inputs(333, 2));
+    }
+
+    #[test]
+    fn divergent_wave_is_bit_identical_to_scalar() {
+        let p = square_gate();
+        assert_kernel_matches_scalar(&p, &lane_inputs(100, 1));
+    }
+
+    #[test]
+    fn wave_handles_arity_mismatch_lanes() {
+        let p = square_gate();
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let inputs = vec![vec![0.0], vec![1.0, 2.0], vec![3.0]];
+        let mut obs: Vec<NullObserver> = inputs.iter().map(|_| NullObserver).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        assert_eq!(results, vec![Some(1.0), None, Some(9.0)]);
+    }
+
+    #[test]
+    fn observer_stop_mid_wave_matches_scalar() {
+        // Stop as soon as a sited op produces a value above a threshold:
+        // exercises the stop-eviction path (the lane must still traverse
+        // the terminator exactly like the scalar interpreter does).
+        struct StopAbove(f64);
+        impl Observer for StopAbove {
+            fn on_op(&mut self, ev: &OpEvent) -> ProbeControl {
+                if ev.value > self.0 {
+                    ProbeControl::Stop
+                } else {
+                    ProbeControl::Continue
+                }
+            }
+        }
+        let p = square_gate();
+        let inputs = lane_inputs(64, 1);
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let mut obs: Vec<StopAbove> = inputs.iter().map(|_| StopAbove(4.0)).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        for (lane, input) in inputs.iter().enumerate() {
+            let mut scalar_obs = StopAbove(4.0);
+            let scalar = p.run(input, &mut scalar_obs);
+            assert_eq!(results[lane], scalar, "lane {lane} ({input:?})");
+        }
+    }
+
+    #[test]
+    fn branch_observer_stop_matches_scalar() {
+        struct StopAtBranch;
+        impl Observer for StopAtBranch {
+            fn on_branch(&mut self, _ev: &BranchEvent) -> ProbeControl {
+                ProbeControl::Stop
+            }
+        }
+        let p = square_gate();
+        let inputs = lane_inputs(16, 1);
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let mut obs: Vec<StopAtBranch> = inputs.iter().map(|_| StopAtBranch).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        for (lane, input) in inputs.iter().enumerate() {
+            assert_eq!(results[lane], p.run(input, &mut StopAtBranch), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn modules_with_calls_fall_back_per_lane_and_match_scalar() {
+        // main(x) calls callee(x) which scales a global: under `Always`
+        // the kernel evicts every lane at the call; results and events
+        // still match the scalar interpreter bit for bit.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 1.0);
+        let mut callee = mb.function("callee", 1);
+        let x = callee.param(0);
+        let a = callee.un(UnOp::Abs, x, Some(0));
+        let wv = callee.load_global(w);
+        let prod = callee.bin(BinOp::Mul, wv, a, Some(1));
+        callee.store_global(w, prod);
+        callee.ret(Some(x));
+        let callee_id = callee.finish();
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let one = main.constant(1.0);
+        let scaled = main.bin(BinOp::Mul, x, one, None);
+        let _ = main.call(callee_id, vec![scaled]);
+        let back = main.load_global(w);
+        main.ret(Some(back));
+        main.finish();
+        let p = ModuleProgram::new(mb.build(), "main").expect("entry exists");
+        assert!(!p.kernel_eligible());
+        assert_kernel_matches_scalar(&p, &lane_inputs(40, 1));
+    }
+
+    #[test]
+    fn precancelled_token_stops_every_lane() {
+        // A countdown loop long enough to reach a cancellation poll (the
+        // wave polls at the same fuel points as the scalar interpreter).
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("count", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let i = f.copy(x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        f.cond_br(None, i, Cmp::Gt, zero, body, exit);
+        f.switch_to(body);
+        let ni = f.bin(BinOp::Sub, i, one, None);
+        f.assign(i, ni);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        f.finish();
+        let token = CancelToken::new();
+        token.cancel();
+        let p = ModuleProgram::new(mb.build(), "count")
+            .expect("entry exists")
+            .with_cancel(token);
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let inputs: Vec<Vec<f64>> = (0..8).map(|_| vec![100_000.0]).collect();
+        let mut obs: Vec<NullObserver> = inputs.iter().map(|_| NullObserver).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        assert!(results.iter().all(Option::is_none));
+        // Scalar agrees: a cancelled execution reports no result.
+        assert_eq!(p.run(&[100_000.0], &mut NullObserver), None);
+    }
+
+    #[test]
+    fn fuel_exhaustion_matches_scalar_per_lane() {
+        // A loop whose iteration count depends on the input: lanes with
+        // big inputs burn more fuel. Divergent lanes carry their exact
+        // remaining fuel into the scalar resume, so out-of-fuel lanes are
+        // the same set under both backends.
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("count", 1);
+        let x = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let i = f.copy(x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(header);
+        f.switch_to(header);
+        f.cond_br(None, i, Cmp::Gt, zero, body, exit);
+        f.switch_to(body);
+        let ni = f.bin(BinOp::Sub, i, one, None);
+        f.assign(i, ni);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        f.finish();
+        let p = ModuleProgram::new(mb.build(), "count")
+            .expect("entry exists")
+            .with_interpreter(Interpreter::default().with_fuel(300));
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![(i * 7) as f64]).collect();
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let mut obs: Vec<NullObserver> = inputs.iter().map(|_| NullObserver).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        for (lane, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                results[lane],
+                p.run(input, &mut NullObserver),
+                "lane {lane} ({input:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_one_matches_the_interpreter() {
+        let p = square_gate();
+        let mut session = KernelExecutor::new(&p);
+        assert_eq!(session.execute_one(&[3.0], &mut NullObserver), Some(9.0));
+        assert_eq!(session.execute_one(&[0.0], &mut NullObserver), Some(1.0));
+        assert_eq!(session.execute_one(&[1.0, 2.0], &mut NullObserver), None);
+        assert!(format!("{session:?}").contains("lanewise"));
+    }
+
+    #[test]
+    fn waves_chunk_batches_larger_than_wave_lanes() {
+        let p = straightline();
+        assert_kernel_matches_scalar(&p, &lane_inputs(WAVE_LANES * 2 + 17, 2));
+    }
+}

@@ -18,6 +18,10 @@
 //!   [`fp_runtime`] events, so IR programs are
 //!   [`Analyzable`](fp_runtime::Analyzable) like any hand-instrumented Rust
 //!   port;
+//! * [`kernel`] specializes a module into a lanewise structure-of-arrays
+//!   kernel that evaluates whole batches in lockstep (the SIMD-style
+//!   backend behind [`fp_runtime::KernelPolicy`]), bit-identical to the
+//!   interpreter;
 //! * [`instrument`] contains the *transformation-based* weak-distance
 //!   constructions: given a program, it injects the `w` updates of Figures
 //!   3(a), 4(a) and Algorithm 3 step 2 and produces a new entry point `W`;
@@ -44,11 +48,13 @@ pub mod builder;
 pub mod instrument;
 pub mod interp;
 pub mod ir;
+pub mod kernel;
 pub mod programs;
 pub mod validate;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use interp::{ExecError, Interpreter, ModuleProgram};
+pub use kernel::{supports_lanewise, KernelExecutor};
 pub use ir::{
     BinOp, Block, BlockId, FuncId, Function, GlobalId, Inst, Module, Reg, Terminator, UnOp,
 };

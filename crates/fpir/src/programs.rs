@@ -147,6 +147,43 @@ pub fn eq_zero_program() -> Module {
     mb.build()
 }
 
+/// A straight-line polynomial evaluation with one guarded comparison at the
+/// end: `prog(x) = |p(x)| where p is a degree-`degree` Horner chain`, every
+/// multiply-add pair carrying an instrumentation site (like an
+/// overflow-instrumented numeric kernel). The single conditional branch
+/// compares the result against 1 with both successors returning, so the
+/// program has no loops and no calls — the best case for the lanewise
+/// kernel backend and the reference workload of the `kernel_speedup`
+/// experiment.
+pub fn horner_program(degree: usize) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.function("prog", 1);
+    let x = f.param(0);
+    let mut acc = f.constant(1.0);
+    let mut site = 0u32;
+    for i in 0..degree {
+        // Alternate small coefficients so intermediate values stay finite
+        // over wide input ranges.
+        let c = f.constant(if i % 2 == 0 { 0.5 } else { -0.25 });
+        let m = f.bin(BinOp::Mul, acc, x, Some(site));
+        let a = f.bin(BinOp::Add, m, c, Some(site + 1));
+        site += 2;
+        acc = a;
+    }
+    let absval = f.un(UnOp::Abs, acc, Some(site));
+    let one = f.constant(1.0);
+    let small = f.new_block();
+    let large = f.new_block();
+    f.cond_br(Some(0), absval, Cmp::Le, one, small, large);
+    f.switch_to(small);
+    f.ret(Some(absval));
+    f.switch_to(large);
+    let inv = f.bin(BinOp::Div, one, absval, None);
+    f.ret(Some(inv));
+    f.finish();
+    mb.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,9 +193,27 @@ mod tests {
 
     #[test]
     fn all_example_programs_validate() {
-        for m in [fig2_program(), fig1a_program(), fig1b_program(), eq_zero_program()] {
+        for m in [
+            fig2_program(),
+            fig1a_program(),
+            fig1b_program(),
+            eq_zero_program(),
+            horner_program(8),
+        ] {
             assert_eq!(validate(&m), Ok(()));
         }
+    }
+
+    #[test]
+    fn horner_program_is_kernel_eligible_and_bounded() {
+        let p = ModuleProgram::new(horner_program(12), "prog").unwrap();
+        assert!(p.kernel_eligible());
+        let v = p.run(&[0.75], &mut NullObserver).unwrap();
+        assert!(v.is_finite() && (0.0..=1.0).contains(&v), "v = {v}");
+        let mut rec = TraceRecorder::new();
+        p.run(&[2.0], &mut rec);
+        assert_eq!(rec.ops().count(), 12 * 2 + 1);
+        assert_eq!(rec.branches().count(), 1);
     }
 
     #[test]

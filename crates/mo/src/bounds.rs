@@ -60,13 +60,22 @@ impl Bounds {
         &self.limits
     }
 
-    /// Clamps `x` into the box in place; NaN components are replaced by the
-    /// dimension midpoint.
+    /// Clamps `x` into the box in place; NaN components are replaced by a
+    /// **finite** in-bounds fallback.
+    ///
+    /// The fallback is the midpoint of the dimension with each infinite
+    /// endpoint first pulled in to the finite binary64 range: the naive
+    /// `lo / 2 + hi / 2` is itself non-finite for half-bounded
+    /// (`±inf` endpoint gives `±inf`) and unbounded (`-inf/2 + inf/2` is
+    /// NaN) dimensions, which would silently feed non-finite points to the
+    /// objective.
     pub fn clamp(&self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.dim());
         for (xi, &(lo, hi)) in x.iter_mut().zip(&self.limits) {
             if xi.is_nan() {
-                *xi = lo / 2.0 + hi / 2.0;
+                let lo_finite = lo.max(-f64::MAX);
+                let hi_finite = hi.min(f64::MAX);
+                *xi = lo_finite / 2.0 + hi_finite / 2.0;
             } else {
                 *xi = xi.clamp(lo, hi);
             }
@@ -172,6 +181,45 @@ mod tests {
         b.clamp(&mut x);
         assert_eq!(x, vec![1.0, 0.0, -1.0]);
         assert_eq!(b.clamped(&[0.5, 0.5, 0.5]), vec![0.5, 0.5, 0.5]);
+    }
+
+    /// Regression: the NaN fallback used to be the raw midpoint
+    /// `lo / 2 + hi / 2`, which is `±inf` for half-bounded dimensions and
+    /// NaN for unbounded ones — silently feeding non-finite points to the
+    /// objective. The fallback must be finite and inside the box for every
+    /// permitted bound shape.
+    #[test]
+    fn clamp_nan_fallback_is_finite_for_infinite_limits() {
+        let shapes = [
+            (f64::NEG_INFINITY, f64::INFINITY), // unbounded: was NaN
+            (0.0, f64::INFINITY),               // half-bounded: was +inf
+            (f64::NEG_INFINITY, 5.0),           // half-bounded: was -inf
+            (-f64::MAX, f64::MAX),              // whole finite range
+            (1.0e308, f64::INFINITY),           // huge one-sided
+        ];
+        for &(lo, hi) in &shapes {
+            let b = Bounds::new(vec![(lo, hi)]);
+            let mut x = vec![f64::NAN];
+            b.clamp(&mut x);
+            assert!(
+                x[0].is_finite(),
+                "NaN fallback for [{lo}, {hi}] is {}",
+                x[0]
+            );
+            assert!(
+                x[0] >= lo && x[0] <= hi,
+                "fallback {} escaped [{lo}, {hi}]",
+                x[0]
+            );
+        }
+        // Non-NaN components still clamp against infinite limits as before.
+        let b = Bounds::new(vec![(0.0, f64::INFINITY)]);
+        let mut x = vec![-3.0];
+        b.clamp(&mut x);
+        assert_eq!(x, vec![0.0]);
+        let mut x = vec![1.0e300];
+        b.clamp(&mut x);
+        assert_eq!(x, vec![1.0e300]);
     }
 
     #[test]

@@ -53,11 +53,26 @@ pub fn bracket<F: FnMut(f64) -> f64>(
         // Parabolic extrapolation, limited to a maximum magnification.
         let r = (b - a) * (fb - fc);
         let q = (b - c) * (fb - fa);
-        let denom = 2.0 * (q - r).abs().max(TINY) * (q - r).signum();
+        // The parabola degenerates when the three points are (numerically)
+        // collinear: guard the denominator with TINY, carrying the sign of
+        // `q - r`. The sign of a *zero* carries no information, and
+        // `(-0.0).signum()` is -1 (and `NAN.signum()` is NaN, reachable
+        // when infinite objective values make `q - r` an inf - inf), so a
+        // zero or NaN difference is treated as positive — the classic
+        // `SIGN(max(|q-r|, TINY), q-r)` behavior.
+        let qr = q - r;
+        let guarded = qr.abs().max(TINY);
+        let denom = 2.0 * if qr < 0.0 { -guarded } else { guarded };
         let mut u = b - ((b - c) * q - (b - a) * r) / denom;
+        if u.is_nan() {
+            // Fully degenerate step (non-finite q or r): fall back to the
+            // default golden-ratio expansion past c.
+            u = c + GOLD * (c - b);
+        }
         let ulim = b + 100.0 * (c - b);
-        let fu;
+        let mut fu;
         if (b - u) * (u - c) > 0.0 {
+            // Parabolic u between b and c.
             fu = eval(u, &mut evals);
             if fu < fc {
                 return (b, u, c, evals);
@@ -65,7 +80,9 @@ pub fn bracket<F: FnMut(f64) -> f64>(
                 return (a, b, u, evals);
             }
             u = c + GOLD * (c - b);
+            fu = eval(u, &mut evals);
         } else if (c - u) * (u - ulim) > 0.0 {
+            // Parabolic u between c and its allowed limit.
             fu = eval(u, &mut evals);
             if fu < fc {
                 b = c;
@@ -73,13 +90,17 @@ pub fn bracket<F: FnMut(f64) -> f64>(
                 fb = fc;
                 fc = fu;
                 u = c + GOLD * (c - b);
+                fu = eval(u, &mut evals);
             }
+            // When `fu >= fc`, keep the already-computed `fu` for the shift
+            // below instead of evaluating the same point a second time.
         } else if (u - ulim) * (ulim - c) >= 0.0 {
             u = ulim;
+            fu = eval(u, &mut evals);
         } else {
             u = c + GOLD * (c - b);
+            fu = eval(u, &mut evals);
         }
-        let fu = eval(u, &mut evals);
         a = b;
         b = c;
         c = u;
@@ -253,6 +274,197 @@ mod tests {
         let (a, b, c, _) = bracket(0.0, 1.0, &mut f, 200);
         let fb = f(b);
         assert!(fb <= f(a) && fb <= f(c), "bracket ({a}, {b}, {c}) invalid");
+    }
+
+    /// The reference bracketer: the same downhill loop but *only*
+    /// golden-ratio expansion steps — no parabolic extrapolation, so none
+    /// of the degenerate-denominator paths exist. Used as the oracle for
+    /// the hardening tests below.
+    fn golden_reference_bracket<F: FnMut(f64) -> f64>(
+        mut a: f64,
+        mut b: f64,
+        f: &mut F,
+        max_evals: usize,
+    ) -> (f64, f64, f64, usize) {
+        let mut evals = 0;
+        let mut eval = |x: f64, evals: &mut usize| {
+            *evals += 1;
+            let v = f(x);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+        let mut fa = eval(a, &mut evals);
+        let mut fb = eval(b, &mut evals);
+        if fb > fa {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+        let mut c = b + GOLD * (b - a);
+        let mut fc = eval(c, &mut evals);
+        while fb > fc && evals < max_evals {
+            let u = c + GOLD * (c - b);
+            let fu = eval(u, &mut evals);
+            a = b;
+            b = c;
+            c = u;
+            fa = fb;
+            fb = fc;
+            fc = fu;
+        }
+        let _ = fa;
+        (a, b, c, evals)
+    }
+
+    /// Regression for the `(c-u)*(u-ulim)` branch: when the parabolic
+    /// probe `u` beyond `c` comes back with `fu >= fc`, the already
+    /// computed `fu` must be reused for the shift — the pre-fix code
+    /// evaluated the very same point a second time (double-charging the
+    /// budget and, for side-effecting objectives, doubling their side
+    /// effects).
+    #[test]
+    fn bracket_does_not_reevaluate_a_rejected_parabolic_probe() {
+        // Descending slowly over [0, c], then a plateau above f(c): the
+        // parabola through (0, 10), (1, 9), (c, ~8.38) has its minimum
+        // just beyond c, and the probe value 9.0 rejects it (fu >= fc).
+        let mut inputs: Vec<f64> = Vec::new();
+        let mut f = |t: f64| {
+            inputs.push(t);
+            if t > 2.618_034 {
+                9.0
+            } else if t > 1.0 {
+                9.0 - 0.383 * (t - 1.0)
+            } else {
+                10.0 - t
+            }
+        };
+        let (a, b, c, evals) = bracket(0.0, 1.0, &mut f, 100);
+        // f(0), f(1), f(c0), f(u) — and nothing evaluated twice.
+        assert_eq!(evals, 4, "rejected parabolic probe was re-evaluated");
+        assert_eq!(inputs.len(), evals);
+        for pair in inputs.windows(2) {
+            assert_ne!(pair[0], pair[1], "same point evaluated twice in a row");
+        }
+        // The returned triple still brackets the plateau edge.
+        let fb = 9.0 - 0.383 * (b - 1.0);
+        assert!(b > 1.0 && b <= 2.618_034);
+        assert!(fb <= 10.0 - a.min(1.0) && fb <= 9.0, "({a}, {b}, {c}) invalid");
+    }
+
+    /// On a flat plateau (`fa == fb == fc` after the NaN mapping) and on
+    /// plateaus of infinite values, the parabolic denominator degenerates
+    /// (`q - r` is a signed zero or NaN). The hardened step must keep every
+    /// probe point finite and behave like the golden-section-only
+    /// reference: same number of evaluations, same final triple.
+    #[test]
+    fn bracket_on_flat_and_nan_plateaus_stays_finite() {
+        // Entirely flat.
+        let mut inputs: Vec<f64> = Vec::new();
+        let mut flat = |t: f64| {
+            inputs.push(t);
+            7.0
+        };
+        let (a, b, c, evals) = bracket(0.0, 1.0, &mut flat, 64);
+        assert!(a.is_finite() && b.is_finite() && c.is_finite());
+        assert_eq!(evals, 3);
+        assert!(inputs.iter().all(|t| t.is_finite()));
+
+        // NaN plateau on both starting points (mapped to +inf): the loop
+        // expands downhill once the finite region is reached; no probe may
+        // ever be non-finite.
+        let mut inputs: Vec<f64> = Vec::new();
+        let mut nan_edge = |t: f64| {
+            inputs.push(t);
+            if t < 2.0 {
+                f64::NAN
+            } else {
+                (t - 30.0) * (t - 30.0)
+            }
+        };
+        let (a, b, c, _) = bracket(0.0, 1.0, &mut nan_edge, 200);
+        assert!(inputs.iter().all(|t| t.is_finite()), "non-finite probe");
+        let check = |t: f64| {
+            let v = if t < 2.0 {
+                f64::NAN
+            } else {
+                (t - 30.0) * (t - 30.0)
+            };
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+        let fb = check(b);
+        assert!(fb <= check(a) && fb <= check(c), "({a}, {b}, {c}) invalid");
+    }
+
+    /// Property: across a family of shaped objectives (quadratics,
+    /// plateaus, NaN pockets, steps), whenever the golden-section-only
+    /// reference finds a valid bracket within budget, the production
+    /// bracketer must too — and never probe a non-finite point.
+    #[test]
+    fn bracket_matches_golden_reference_validity_on_shaped_functions() {
+        let shaped = |kind: u8, shift: f64| {
+            move |t: f64| match kind % 6 {
+                0 => (t - shift) * (t - shift),
+                1 => (t - shift).abs(),
+                2 => 5.0,                                        // flat plateau
+                3 => {
+                    if (t - shift).abs() < 1.0 {
+                        f64::NAN
+                    } else {
+                        (t - shift).abs()
+                    }
+                }
+                4 => {
+                    if t < shift {
+                        10.0 - t
+                    } else {
+                        1.0                                       // step plateau
+                    }
+                }
+                _ => ((t - shift) * 0.25).sin() + 1.5,
+            }
+        };
+        for kind in 0u8..6 {
+            for (i, shift) in [-40.0, -3.0, 0.0, 2.5, 17.0, 90.0].iter().enumerate() {
+                let mut probes: Vec<f64> = Vec::new();
+                let base = shaped(kind, *shift);
+                let mut traced = |t: f64| {
+                    probes.push(t);
+                    base(t)
+                };
+                let (a, b, c, evals) = bracket(0.0, 1.0, &mut traced, 200);
+                assert!(
+                    probes.iter().all(|t| t.is_finite()),
+                    "kind {kind} shift {shift} probed a non-finite point"
+                );
+                assert!(evals <= 200 + 1, "kind {kind} case {i} blew the cap");
+                let mut reference = shaped(kind, *shift);
+                let (_, rb, _, revals) = golden_reference_bracket(0.0, 1.0, &mut reference, 200);
+                if revals < 200 {
+                    // The reference bracketed within budget; the production
+                    // bracketer must have found a valid bracket as well.
+                    let nan_safe = |t: f64| {
+                        let v = base(t);
+                        if v.is_nan() {
+                            f64::INFINITY
+                        } else {
+                            v
+                        }
+                    };
+                    let fb = nan_safe(b);
+                    assert!(
+                        fb <= nan_safe(a) && fb <= nan_safe(c),
+                        "kind {kind} shift {shift}: ({a}, {b}, {c}) does not bracket \
+                         (reference bracketed at {rb})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,8 +18,11 @@ use crate::{better, Problem};
 /// How many points the batched path hands to [`Objective::eval_batch`]
 /// (crate::Objective::eval_batch) at once. Chunking bounds the clamped-copy
 /// scratch memory and keeps wasted evaluations small when a stop condition
-/// fires mid-batch.
-const BATCH_CHUNK: usize = 64;
+/// fires mid-batch. Sized to one full fpir kernel wave
+/// (`fpir::kernel::WAVE_LANES`), so minimizer-driven batches reach the
+/// lanewise backend at its design width; equivalence with the scalar loop
+/// holds at any chunk size (the batch-equivalence proptests pin it).
+const BATCH_CHUNK: usize = 256;
 
 /// Tracks evaluations for one backend run.
 ///
@@ -99,7 +102,22 @@ impl<'a, 'b> Evaluator<'a, 'b> {
             if processed > 0 && self.should_stop() {
                 break;
             }
-            let budget = self.remaining().max(1);
+            // Samples past the point where the scalar loop stops must not
+            // reach the objective at all when the stop is already known:
+            // they would be uncharged and unrecorded here, but a stateful
+            // objective (an instrumented program session, an evaluation
+            // counter) would still see their side effects. A stop condition
+            // pending at chunk start — stale target hit, exhausted budget,
+            // cancellation — means the scalar loop evaluates exactly one
+            // more sample, so the chunk is capped at 1. Only a stop that
+            // *arises inside* the chunk can still over-evaluate its tail,
+            // and those extra evaluations are discarded before any
+            // recording or charging below.
+            let budget = if self.should_stop() {
+                1
+            } else {
+                self.remaining().max(1)
+            };
             let chunk = BATCH_CHUNK.min(xs.len() - processed).min(budget);
             clamped.clear();
             clamped.extend(
@@ -395,6 +413,49 @@ mod tests {
         assert_eq!(ev.evals(), 2);
         // The incumbent stays the target hit, not a later sample.
         assert_eq!(ev.best().1, 0.0);
+    }
+
+    /// Regression: with a stop condition already pending at batch entry
+    /// (stale target hit or cancellation), `eval_batch` used to evaluate a
+    /// whole chunk through the objective and then discard all but one
+    /// sample — uncharged and unrecorded, but the objective itself (an
+    /// instrumented program session, an eval counter) still saw the tail's
+    /// side effects. The objective must now see exactly as many
+    /// evaluations as the scalar post-check loop performs.
+    #[test]
+    fn eval_batch_does_not_over_evaluate_with_stop_pending() {
+        use crate::CountingObjective;
+        let f = FnObjective::new(1, |x: &[f64]| x[0].abs());
+        let counted = CountingObjective::new(&f);
+        let p = Problem::new(&counted, Bounds::symmetric(1, 1000.0)).with_target(0.5);
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        ev.eval(&[0.0]); // hits the target
+        assert!(ev.target_hit());
+        assert_eq!(counted.count(), 1);
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 + 1.0]).collect();
+        let mut out = Vec::new();
+        assert_eq!(ev.eval_batch(&xs, &mut out), 1);
+        // The scalar loop evaluates exactly one more sample; so must the
+        // objective have.
+        assert_eq!(counted.count(), 2, "tail samples leaked to the objective");
+    }
+
+    /// Same invariant for a pre-cancelled run.
+    #[test]
+    fn eval_batch_does_not_over_evaluate_when_cancelled() {
+        use crate::{CancelToken, CountingObjective};
+        let f = FnObjective::new(1, |x: &[f64]| x[0]);
+        let counted = CountingObjective::new(&f);
+        let token = CancelToken::new();
+        token.cancel();
+        let p = Problem::new(&counted, Bounds::symmetric(1, 10.0)).with_cancel(token);
+        let mut sink = NoTrace;
+        let mut ev = Evaluator::new(&p, &mut sink);
+        let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64]).collect();
+        let mut out = Vec::new();
+        assert_eq!(ev.eval_batch(&xs, &mut out), 1);
+        assert_eq!(counted.count(), 1, "tail samples leaked to the objective");
     }
 
     #[test]

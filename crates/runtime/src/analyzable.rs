@@ -12,6 +12,29 @@ use crate::interval::Interval;
 use crate::probe::Ctx;
 use crate::recorder::Observer;
 
+/// Selects the execution backend a program's [`Analyzable::batch_executor`]
+/// hands out for batched evaluation.
+///
+/// Programs that have a vectorized (lanewise SIMD-style) kernel backend —
+/// today the `fpir` interpreter's structure-of-arrays kernel — use the
+/// policy to decide between it and the plain per-input session. Programs
+/// without one (hand-instrumented Rust ports, closures) ignore the policy.
+/// Every backend is required to produce **bit-identical** results and
+/// events, so the policy only ever changes throughput, never outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Use the kernel backend when the program supports lanewise
+    /// specialization, the per-input session otherwise. The default.
+    #[default]
+    Auto,
+    /// Always hand out the kernel backend; programs it cannot specialize
+    /// run their scalar fallback inside the kernel session.
+    Always,
+    /// Never use the kernel backend, even when available. Useful as the
+    /// reference side of equivalence tests and benchmarks.
+    Never,
+}
+
 /// A floating-point program with input domain `F^N` that can be executed
 /// under observation.
 ///
@@ -68,9 +91,12 @@ pub trait Analyzable: Send + Sync {
     /// everything input-independent out of the per-run path: the default
     /// executor simply loops [`Analyzable::run`], while the `fpir`
     /// interpreter reuses its register frames and global-variable buffers
-    /// across the whole batch. Results are bit-identical to calling
-    /// [`Analyzable::run`] once per input.
-    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
+    /// across the whole batch — and, under [`KernelPolicy::Auto`] or
+    /// [`KernelPolicy::Always`], specializes eligible modules into a
+    /// lane-parallel SoA kernel. Results are bit-identical to calling
+    /// [`Analyzable::run`] once per input regardless of the policy.
+    fn batch_executor(&self, policy: KernelPolicy) -> Box<dyn BatchExecutor + '_> {
+        let _ = policy; // only programs with a kernel backend consult it
         Box::new(ScalarBatchExecutor(self))
     }
 }
@@ -85,6 +111,37 @@ pub trait BatchExecutor {
     /// Executes the program on `input`, reporting events through a fresh
     /// probe context over `observer`, exactly like [`Analyzable::run`].
     fn execute_one(&mut self, input: &[f64], observer: &mut dyn Observer) -> Option<f64>;
+
+    /// Executes every input of the batch, handing input `i` the observer
+    /// `observers[i]`, and replaces the contents of `results` with one
+    /// entry per input (in order).
+    ///
+    /// This is the lane-parallel entry point: the default implementation
+    /// loops [`BatchExecutor::execute_one`], but a vectorized kernel
+    /// executes all inputs lanewise in one sweep. Either way the per-input
+    /// results and the event stream each observer sees are bit-identical
+    /// to the scalar loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != observers.len()`.
+    fn execute_many(
+        &mut self,
+        inputs: &[Vec<f64>],
+        observers: &mut [&mut dyn Observer],
+        results: &mut Vec<Option<f64>>,
+    ) {
+        assert_eq!(
+            inputs.len(),
+            observers.len(),
+            "one observer is required per batch input"
+        );
+        results.clear();
+        results.reserve(inputs.len());
+        for (input, observer) in inputs.iter().zip(observers.iter_mut()) {
+            results.push(self.execute_one(input, &mut **observer));
+        }
+    }
 }
 
 /// The default [`BatchExecutor`]: a plain loop over [`Analyzable::run`]
@@ -98,8 +155,8 @@ impl<P: Analyzable + ?Sized> BatchExecutor for ScalarBatchExecutor<'_, P> {
 }
 
 impl<P: Analyzable + ?Sized> Analyzable for &P {
-    fn batch_executor(&self) -> Box<dyn BatchExecutor + '_> {
-        (**self).batch_executor()
+    fn batch_executor(&self, policy: KernelPolicy) -> Box<dyn BatchExecutor + '_> {
+        (**self).batch_executor(policy)
     }
 
     fn name(&self) -> &str {
@@ -287,6 +344,39 @@ mod tests {
     fn wrong_arity_panics() {
         let p = toy();
         let _ = p.run(&[1.0, 2.0], &mut NullObserver);
+    }
+
+    #[test]
+    fn default_batch_executor_ignores_policy_and_matches_run() {
+        let p = toy();
+        let xs: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 - 3.0]).collect();
+        for policy in [KernelPolicy::Auto, KernelPolicy::Always, KernelPolicy::Never] {
+            let mut session = p.batch_executor(policy);
+            let mut observers: Vec<TraceRecorder> =
+                xs.iter().map(|_| TraceRecorder::new()).collect();
+            let mut refs: Vec<&mut dyn crate::recorder::Observer> = observers
+                .iter_mut()
+                .map(|o| o as &mut dyn crate::recorder::Observer)
+                .collect();
+            let mut results = Vec::new();
+            session.execute_many(&xs, &mut refs, &mut results);
+            assert_eq!(results.len(), xs.len());
+            for ((x, result), obs) in xs.iter().zip(&results).zip(&observers) {
+                let mut scalar_rec = TraceRecorder::new();
+                assert_eq!(*result, p.run(x, &mut scalar_rec), "{policy:?} at {x:?}");
+                assert_eq!(obs.ops().count(), scalar_rec.ops().count());
+                assert_eq!(obs.branches().count(), scalar_rec.branches().count());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one observer is required per batch input")]
+    fn execute_many_rejects_mismatched_observers() {
+        let p = toy();
+        let mut session = p.batch_executor(KernelPolicy::default());
+        let mut results = Vec::new();
+        session.execute_many(&[vec![1.0]], &mut [], &mut results);
     }
 
     #[test]
