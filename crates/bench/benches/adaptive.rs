@@ -1,0 +1,81 @@
+//! Criterion benches of the adaptive portfolio scheduler vs. race mode on
+//! down-scaled workloads: a zero-free closure distance (both policies
+//! spend their whole budget — measures scheduling overhead per evaluation)
+//! and the fig2 boundary problem (early-hit behavior).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::driver::{minimize_weak_distance_portfolio, PortfolioPolicy};
+use wdm_core::weak_distance::FnWeakDistance;
+use wdm_core::{AnalysisConfig, BackendKind};
+
+fn policy_config(policy: PortfolioPolicy) -> AnalysisConfig {
+    AnalysisConfig::quick(5)
+        .with_rounds(1)
+        .with_max_evals(1_500)
+        .with_portfolio_policy(policy)
+}
+
+fn bench_zero_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_policy");
+    group.sample_size(10);
+    // Zero-free: no early hit, so race burns 5 budgets and adaptive 1.
+    let wd = FnWeakDistance::new(1, vec![fp_runtime::Interval::symmetric(1.0e4)], |x: &[f64]| {
+        (x[0] - 1.0).abs() * (x[0] + 3.0).abs() + 0.5
+    });
+    group.bench_function("race/zero_free", |b| {
+        b.iter(|| {
+            black_box(minimize_weak_distance_portfolio(
+                &wd,
+                &policy_config(PortfolioPolicy::Race),
+                &BackendKind::all(),
+            ))
+        })
+    });
+    group.bench_function("adaptive/zero_free", |b| {
+        b.iter(|| {
+            black_box(minimize_weak_distance_portfolio(
+                &wd,
+                &policy_config(PortfolioPolicy::Adaptive),
+                &BackendKind::all(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_policy_fig2");
+    group.sample_size(10);
+    let wd = || {
+        BoundaryWeakDistance::new(
+            fpir::ModuleProgram::new(fpir::programs::fig2_program(), "prog")
+                .expect("fig2 entry"),
+        )
+    };
+    group.bench_function("race/fig2_boundary", |b| {
+        let wd = wd();
+        b.iter(|| {
+            black_box(minimize_weak_distance_portfolio(
+                &wd,
+                &policy_config(PortfolioPolicy::Race),
+                &BackendKind::all(),
+            ))
+        })
+    });
+    group.bench_function("adaptive/fig2_boundary", |b| {
+        let wd = wd();
+        b.iter(|| {
+            black_box(minimize_weak_distance_portfolio(
+                &wd,
+                &policy_config(PortfolioPolicy::Adaptive),
+                &BackendKind::all(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_free, bench_fig2);
+criterion_main!(benches);

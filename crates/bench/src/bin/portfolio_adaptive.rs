@@ -1,0 +1,233 @@
+//! Compares the two portfolio policies — racing every backend to the end
+//! vs. adaptive bandit-driven budget reallocation — on the paper's example
+//! programs and the GSL portfolio suite.
+//!
+//! For each workload both policies run the same five-backend portfolio
+//! from the same seed:
+//!
+//! * **Race** gives every backend the full round/budget configuration (up
+//!   to 5× the budget) and cancels the losers at the first zero;
+//! * **Adaptive** spends *one* run's budget (`rounds × max_evals`) total,
+//!   reallocated each scheduler round toward the backend with the best
+//!   residual trajectory (deterministic UCB on per-slice improvement).
+//!
+//! The interesting questions the JSON answers: how often does adaptive
+//! still solve the problem, and at what fraction of the race's
+//! evaluations. The suite rows run the same comparison through campaign
+//! mode (`gsl_portfolio_suite`) on a worker pool.
+//!
+//! Usage: `portfolio_adaptive [--smoke] [--threads N] [--json <path>]`
+//! (the JSON report is `BENCH_adaptive.json` when `--json` targets a
+//! directory).
+
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::boundary::BoundaryWeakDistance;
+use wdm_core::driver::{minimize_weak_distance_portfolio, PortfolioPolicy};
+use wdm_core::{AnalysisConfig, BackendKind, WeakDistance};
+use wdm_engine::gsl_portfolio_suite;
+
+#[derive(Debug, Clone, Serialize)]
+struct PolicyResult {
+    policy: String,
+    found: bool,
+    winner: String,
+    evals: usize,
+    seconds: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    race: PolicyResult,
+    adaptive: PolicyResult,
+    /// Adaptive evaluations as a fraction of the race's.
+    adaptive_eval_fraction: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SuiteReport {
+    policy: String,
+    jobs: usize,
+    jobs_fully_solved: usize,
+    total_evals: usize,
+    wall_seconds: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct AdaptiveReport {
+    smoke: bool,
+    threads: usize,
+    rounds: usize,
+    max_evals: usize,
+    workloads: Vec<WorkloadReport>,
+    suite: Vec<SuiteReport>,
+    /// The headline: adaptive solved this many workloads at this fraction
+    /// of the race's total evaluations.
+    adaptive_found: usize,
+    race_found: usize,
+    adaptive_total_eval_fraction: f64,
+}
+
+fn run_policy(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    policy: PortfolioPolicy,
+) -> PolicyResult {
+    let config = config.clone().with_portfolio_policy(policy);
+    let started = Instant::now();
+    let run = minimize_weak_distance_portfolio(wd, &config, &BackendKind::all());
+    let seconds = started.elapsed().as_secs_f64();
+    PolicyResult {
+        policy: format!("{policy:?}"),
+        found: run.outcome().is_found(),
+        winner: run.winning_backend().name().to_string(),
+        evals: run.outcome().evals(),
+        seconds,
+    }
+}
+
+fn compare(name: &str, wd: &dyn WeakDistance, config: &AnalysisConfig) -> WorkloadReport {
+    let race = run_policy(wd, config, PortfolioPolicy::Race);
+    let adaptive = run_policy(wd, config, PortfolioPolicy::Adaptive);
+    let adaptive_eval_fraction = adaptive.evals as f64 / race.evals.max(1) as f64;
+    WorkloadReport {
+        workload: name.to_string(),
+        race,
+        adaptive,
+        adaptive_eval_fraction,
+    }
+}
+
+fn fpir_boundary(module: fpir::Module) -> BoundaryWeakDistance<fpir::ModuleProgram> {
+    BoundaryWeakDistance::new(fpir::ModuleProgram::new(module, "prog").expect("entry exists"))
+}
+
+fn run_suite(config: &AnalysisConfig, policy: PortfolioPolicy, threads: usize) -> SuiteReport {
+    let config = config.clone().with_portfolio_policy(policy);
+    let report = gsl_portfolio_suite(&config, &BackendKind::all()).run(threads);
+    SuiteReport {
+        policy: format!("{policy:?}"),
+        jobs: report.jobs.len(),
+        jobs_fully_solved: report.jobs_fully_solved,
+        total_evals: report.total_evals,
+        wall_seconds: report.wall_seconds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::env::var("WDM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4)
+        });
+    let (rounds, max_evals) = if smoke { (2, 4_000) } else { (3, 20_000) };
+    let config = AnalysisConfig::quick(7)
+        .with_rounds(rounds)
+        .with_max_evals(max_evals)
+        .with_parallelism(threads);
+
+    println!(
+        "Adaptive-portfolio experiment ({} mode, {rounds} rounds x {max_evals} evals, \
+         {threads} workers)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let workloads = vec![
+        compare(
+            "boundary/fig2",
+            &fpir_boundary(fpir::programs::fig2_program()),
+            &config,
+        ),
+        compare(
+            "boundary/fig1b",
+            &fpir_boundary(fpir::programs::fig1b_program()),
+            &config,
+        ),
+        compare(
+            "boundary/eq_zero",
+            &fpir_boundary(fpir::programs::eq_zero_program()),
+            &config,
+        ),
+        compare(
+            "boundary/glibc_sin",
+            &BoundaryWeakDistance::new(mini_gsl::glibc_sin::GlibcSin::new()),
+            &config,
+        ),
+        // The regime adaptive mode exists for: no zero to find, so race
+        // mode runs every backend to budget exhaustion (~5x) while the
+        // adaptive pool stays at ~1x.
+        compare(
+            "zero_free/needle",
+            &wdm_core::weak_distance::FnWeakDistance::new(
+                1,
+                vec![fp_runtime::Interval::symmetric(1.0e4)],
+                |x: &[f64]| (x[0] - 1.0).abs() * (x[0] + 3.0).abs() + 0.5,
+            ),
+            &config,
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>6} {:>12} {:>16} | {:>6} {:>12} {:>16} {:>9}",
+        "workload", "race", "race evals", "race winner", "adapt", "adapt evals", "adapt winner",
+        "fraction"
+    );
+    for w in &workloads {
+        println!(
+            "{:<20} {:>6} {:>12} {:>16} | {:>6} {:>12} {:>16} {:>8.2}x",
+            w.workload,
+            if w.race.found { "hit" } else { "miss" },
+            w.race.evals,
+            w.race.winner,
+            if w.adaptive.found { "hit" } else { "miss" },
+            w.adaptive.evals,
+            w.adaptive.winner,
+            w.adaptive_eval_fraction,
+        );
+    }
+
+    let suite = vec![
+        run_suite(&config, PortfolioPolicy::Race, threads),
+        run_suite(&config, PortfolioPolicy::Adaptive, threads),
+    ];
+    for s in &suite {
+        println!(
+            "suite/{:<10} solved {}/{} jobs, {} evals, {:.2}s",
+            s.policy, s.jobs_fully_solved, s.jobs, s.total_evals, s.wall_seconds
+        );
+    }
+
+    let adaptive_found = workloads.iter().filter(|w| w.adaptive.found).count();
+    let race_found = workloads.iter().filter(|w| w.race.found).count();
+    let (race_total, adaptive_total) = workloads.iter().fold((0usize, 0usize), |acc, w| {
+        (acc.0 + w.race.evals, acc.1 + w.adaptive.evals)
+    });
+    let report = AdaptiveReport {
+        smoke,
+        threads,
+        rounds,
+        max_evals,
+        workloads,
+        suite,
+        adaptive_found,
+        race_found,
+        adaptive_total_eval_fraction: adaptive_total as f64 / race_total.max(1) as f64,
+    };
+    println!(
+        "adaptive solved {adaptive_found}/{race_found} of the race's workloads at {:.2}x of \
+         its evaluations",
+        report.adaptive_total_eval_fraction
+    );
+    wdm_bench::emit_json("adaptive", &report);
+}

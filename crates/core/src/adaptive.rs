@@ -1,0 +1,676 @@
+//! Adaptive portfolio mode: bandit-driven budget reallocation across
+//! resumable backends.
+//!
+//! Race mode ([`PortfolioPolicy::Race`]) spends up to N full budgets to run
+//! N backends and throws away all but one run. This module implements the
+//! alternative the ROADMAP's "Adaptive portfolios" item calls for: spend
+//! *one* run's budget ([`AnalysisConfig::rounds`] ×
+//! [`AnalysisConfig::max_evals`]) and reallocate it between the backends
+//! while they run, concentrating evaluations on the backend whose residual
+//! (best weak-distance value so far) is improving fastest.
+//!
+//! Three pieces make that possible:
+//!
+//! * [`SteppedAnalysis`] — the driver's restart loop (Algorithm 3 step 4)
+//!   as a resumable state machine: rounds of a
+//!   [`SteppedMinimizer`](wdm_mo::SteppedMinimizer) backend, merged
+//!   exactly as the sequential driver merges them, pausable at any
+//!   eval-budget slice;
+//! * a deterministic **UCB1-style bandit** over per-slice best-residual
+//!   improvement: each scheduler round, the arm maximizing
+//!   `mean_reward + c·sqrt(ln t / n)` (ties broken by a seeded hash)
+//!   receives a full slice, every other live arm a small probe slice — so
+//!   budget concentrates without starving exploration;
+//! * deterministic parallel slice execution: the arms are independent
+//!   state machines, so stepping them concurrently and folding the
+//!   statistics in arm order is bit-identical at any
+//!   [`AnalysisConfig::parallelism`].
+//!
+//! # Determinism and cancellation
+//!
+//! Unlike race mode, adaptive mode is **bit-identical at any thread
+//! count**: which arm gets budget depends only on merged per-slice
+//! statistics, never on timing. The price is that first-hit cancellation
+//! acts at slice granularity — when an arm finds a zero, the other arms of
+//! that scheduler round finish their (small) slices before the scheduler
+//! fires the shared [`CancelToken`] and stops them — bounded post-hit work
+//! instead of a timing race. External cancellation stops the scheduler at
+//! the next round boundary and is then observed by every arm.
+//!
+//! [`PortfolioPolicy::Race`]: crate::driver::PortfolioPolicy::Race
+
+use crate::driver::{
+    derive_round_seed, outcome_from_best, pick_winner, round_improves, AnalysisConfig,
+    MinimizationRun, PortfolioEntry, PortfolioRun,
+};
+use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
+use crate::BackendKind;
+use std::sync::Mutex;
+use wdm_mo::stepped::{MinimizerStep, StepStatus};
+use wdm_mo::{
+    CancelToken, MinimizeResult, NoTrace, Problem, SamplingTrace, SteppedMinimizer,
+};
+
+/// UCB exploration constant, sized for rewards in `[0, 1]`.
+const UCB_EXPLORATION: f64 = 0.5;
+
+/// Recency weight of the reward average: an exponential moving average
+/// rather than the all-history UCB1 mean, so an arm whose residual has
+/// plateaued loses its lead within a few scheduler rounds instead of
+/// coasting on early improvements ("best residual *trajectory*", not best
+/// residual history).
+const REWARD_DECAY: f64 = 0.3;
+
+/// A non-leader live arm receives `base_slice / PROBE_DIVISOR` evaluations
+/// per scheduler round, so every arm keeps producing reward observations.
+const PROBE_DIVISOR: usize = 8;
+
+/// Salt decorrelating the tie-breaking stream from round seeds.
+const TIEBREAK_SALT: u64 = 0x0ADA_97F0_1105_C0DE;
+
+/// One round of a stepped analysis: the backend's resumable run plus the
+/// per-round sampling trace (mirroring the driver's `run_round`).
+struct ActiveRound {
+    machine: Box<dyn MinimizerStep>,
+    trace: Option<SamplingTrace>,
+}
+
+/// The driver's restart loop as a resumable state machine: rounds of a
+/// stepped backend with round-derived seeds, merged incrementally exactly
+/// as [`minimize_weak_distance`](crate::driver::minimize_weak_distance)
+/// merges them. Run to completion — in one slice or many — the result is
+/// bit-identical to the direct driver run of the same configuration.
+pub struct SteppedAnalysis<'wd> {
+    objective: WeakDistanceObjective<'wd>,
+    bounds: wdm_mo::Bounds,
+    config: AnalysisConfig,
+    backend: Box<dyn SteppedMinimizer>,
+    cancel: CancelToken,
+    rounds: usize,
+    round: usize,
+    active: Option<ActiveRound>,
+    best: Option<MinimizeResult>,
+    total_evals: usize,
+    trace: SamplingTrace,
+    hit: bool,
+    finished: bool,
+}
+
+impl<'wd> SteppedAnalysis<'wd> {
+    /// Captures the initial state of an analysis of `wd` under `config`
+    /// (whose `backend` selects the stepped backend; `parallelism` is
+    /// ignored — slices of one analysis are sequential by construction).
+    pub fn new(wd: &'wd dyn WeakDistance, config: &AnalysisConfig, cancel: CancelToken) -> Self {
+        let objective = WeakDistanceObjective::new(wd);
+        let bounds = objective.bounds();
+        SteppedAnalysis {
+            objective,
+            bounds,
+            backend: config.backend.build_stepped(),
+            cancel,
+            rounds: config.rounds.max(1),
+            round: 0,
+            active: None,
+            best: None,
+            total_evals: 0,
+            trace: SamplingTrace::with_stride(config.sample_stride),
+            hit: false,
+            finished: false,
+            config: config.clone(),
+        }
+    }
+
+    /// Advances the analysis by (at least) `slice` objective evaluations,
+    /// starting new rounds as earlier ones finish. Returns `true` once the
+    /// analysis is finished — some round hit zero, every round ran, or
+    /// cancellation was observed.
+    pub fn step(&mut self, slice: usize) -> bool {
+        if self.finished {
+            return true;
+        }
+        // Between rounds: cancellation stops the restart loop before a new
+        // round starts, mirroring the driver's sequential path.
+        if self.active.is_none() && self.round > 0 && self.cancel.is_cancelled() {
+            self.finished = true;
+            return true;
+        }
+
+        // Every slice of one analysis runs against this same problem.
+        let problem = Problem::new(&self.objective, self.bounds.clone())
+            .with_target(0.0)
+            .with_max_evals(self.config.max_evals)
+            .with_cancel(self.cancel.clone());
+        if self.active.is_none() {
+            let seed = derive_round_seed(self.config.seed, self.round as u64);
+            let machine = self.backend.start(&problem, seed);
+            let trace = self
+                .config
+                .record_samples
+                .then(|| SamplingTrace::with_stride(self.config.sample_stride));
+            self.active = Some(ActiveRound { machine, trace });
+        }
+        let active = self.active.as_mut().expect("round started above");
+        let status = match &mut active.trace {
+            Some(trace) => active.machine.step(&problem, slice, trace),
+            None => active.machine.step(&problem, slice, &mut NoTrace),
+        };
+        drop(problem);
+        if status == StepStatus::Paused {
+            return false;
+        }
+
+        let ActiveRound { machine, trace } = self.active.take().expect("round was active");
+        self.merge(machine.result(), trace.unwrap_or_default());
+        self.finished
+    }
+
+    /// Folds one finished round into the incremental merge — the exact
+    /// logic of the driver's `merge_rounds`, applied round by round.
+    fn merge(&mut self, result: MinimizeResult, trace: SamplingTrace) {
+        self.total_evals += result.evals;
+        self.trace.append(trace);
+        if round_improves(&result, self.best.as_ref()) {
+            self.best = Some(result);
+        }
+        if self.best.as_ref().map(|b| b.value <= 0.0).unwrap_or(false) {
+            self.hit = true;
+            self.finished = true;
+            return;
+        }
+        self.round += 1;
+        if self.round >= self.rounds {
+            self.finished = true;
+        }
+    }
+
+    /// Whether the analysis is finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the backend only pauses at whole-round granularity (see
+    /// [`wdm_mo::SteppedMinimizer::is_coarse`]) — any slice costs it a
+    /// full round.
+    pub fn is_coarse(&self) -> bool {
+        self.backend.is_coarse()
+    }
+
+    /// Whether some round's minimum reached zero.
+    pub fn found(&self) -> bool {
+        self.hit
+    }
+
+    /// Evaluations charged so far, including the active round's.
+    pub fn evals(&self) -> usize {
+        self.total_evals
+            + self
+                .active
+                .as_ref()
+                .map(|a| a.machine.evals())
+                .unwrap_or(0)
+    }
+
+    /// Best weak-distance value so far across completed rounds and the
+    /// active round (`f64::INFINITY` before the first evaluation).
+    pub fn best_value(&self) -> f64 {
+        let merged = self
+            .best
+            .as_ref()
+            .map(|b| b.value)
+            .unwrap_or(f64::INFINITY);
+        match &self.active {
+            Some(active) => {
+                let v = active.machine.best_value();
+                if v < merged || merged.is_nan() {
+                    v
+                } else {
+                    merged
+                }
+            }
+            None => merged,
+        }
+    }
+
+    /// The analysis result. After the run finishes this is exactly what
+    /// the direct driver run returns; mid-run it additionally charges the
+    /// active round's snapshot (best-so-far, evaluations spent) so a
+    /// scheduler that withdraws the budget still reports honestly.
+    pub fn run(&self) -> MinimizationRun {
+        let mut best = self.best.clone();
+        let mut total_evals = self.total_evals;
+        let mut trace = self.trace.clone();
+        if let Some(active) = &self.active {
+            let partial = active.machine.result();
+            total_evals += partial.evals;
+            if let Some(t) = &active.trace {
+                trace.append(t.clone());
+            }
+            if round_improves(&partial, best.as_ref()) {
+                best = Some(partial);
+            }
+        }
+        // An arm the scheduler never stepped (external cancellation before
+        // the first slice) has nothing to report.
+        let best = best.unwrap_or_else(|| {
+            MinimizeResult::new(
+                vec![f64::NAN; self.bounds.dim()],
+                f64::INFINITY,
+                0,
+                wdm_mo::Termination::Cancelled,
+            )
+        });
+        let outcome = outcome_from_best(&best, total_evals);
+        MinimizationRun {
+            outcome,
+            best,
+            trace,
+        }
+    }
+}
+
+/// Relative best-residual improvement of one slice, the bandit's reward:
+/// 0 for no progress (or NaN), 1 for "reached finite from unbounded", and
+/// the relative decrease `(before - after) / before` otherwise — weak
+/// distances are nonnegative, so this lands in `[0, 1]`.
+fn improvement(before: f64, after: f64) -> f64 {
+    if before.is_nan() {
+        // A NaN incumbent turning into a real value is progress (`<` would
+        // never say so).
+        return if after.is_finite() { 1.0 } else { 0.0 };
+    }
+    // NaN `after` lands here too: no progress.
+    if after >= before || after.is_nan() {
+        return 0.0;
+    }
+    if !before.is_finite() {
+        return 1.0;
+    }
+    if before <= 0.0 {
+        return 0.0;
+    }
+    ((before - after) / before).clamp(0.0, 1.0)
+}
+
+/// Per-arm bandit statistics: `plays` counts rounds led (the UCB `n`),
+/// `mean_reward` the recency-weighted reward over *all* slices (probes
+/// included), `seen` whether any slice has seeded the average yet.
+struct ArmStats {
+    plays: f64,
+    mean_reward: f64,
+    seen: bool,
+}
+
+/// [`minimize_weak_distance_adaptive`] with an external cancellation
+/// token: the scheduler stops at the next round boundary once `cancel`
+/// fires, then lets every arm observe the cancellation.
+pub fn minimize_weak_distance_adaptive_cancellable(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    backends: &[BackendKind],
+    cancel: &CancelToken,
+) -> PortfolioRun {
+    assert!(!backends.is_empty(), "portfolio needs at least one backend");
+    // The shared first-hit token: a child of the external token so outside
+    // cancellation reaches the arms, fired by the scheduler when some arm
+    // finds a zero.
+    let race = cancel.child();
+    let arms: Vec<Mutex<SteppedAnalysis<'_>>> = backends
+        .iter()
+        .enumerate()
+        .map(|(index, &backend)| {
+            let cfg = config
+                .clone()
+                .with_backend(backend)
+                .with_parallelism(1)
+                // Decorrelate the backends' restart streams, as in race
+                // mode (offset 0 leaves the seed unchanged).
+                .with_seed_offset(index as u64);
+            Mutex::new(SteppedAnalysis::new(wd, &cfg, race.child()))
+        })
+        .collect();
+    let lock = |i: usize| arms[i].lock().expect("adaptive arm lock");
+    let coarse: Vec<bool> = (0..arms.len()).map(|i| lock(i).is_coarse()).collect();
+
+    let rounds = config.rounds.max(1);
+    // The shared evaluation pool: ONE direct backend run's worth. A
+    // single-arm portfolio has nothing to reallocate and runs to natural
+    // completion instead (bit-identical to the direct driver run; a hard
+    // pool could cut the last round short, since local searches may
+    // overshoot a round budget by a bounded amount).
+    let pool = if backends.len() == 1 {
+        usize::MAX
+    } else {
+        rounds.saturating_mul(config.max_evals).max(1)
+    };
+    let base_slice = (config.max_evals / 8).max(64);
+    let probe_slice = (base_slice / PROBE_DIVISOR).max(16);
+    let workers = config.parallelism.max(1);
+
+    let mut stats: Vec<ArmStats> = backends
+        .iter()
+        .map(|_| ArmStats {
+            plays: 0.0,
+            mean_reward: 0.0,
+            seen: false,
+        })
+        .collect();
+    let mut spent = 0usize;
+    let mut found = false;
+    let mut t = 0u64;
+
+    while !cancel.is_cancelled() && !found && spent < pool {
+        let alive: Vec<usize> = (0..arms.len()).filter(|&i| !lock(i).is_finished()).collect();
+        if alive.is_empty() {
+            break;
+        }
+
+        // UCB1 scores on per-slice best-residual improvement: `plays`
+        // counts *leaderships* (every alive arm is probed each round, so
+        // counting probes would make the bonus a constant shift), which
+        // gives arms that have not led recently a growing exploration
+        // bonus on top of their probe-fed reward average. Never-led arms
+        // go first; ties break by a seeded per-(round, arm) hash, so the
+        // schedule is a pure function of (config, statistics).
+        let score = |i: usize| {
+            if stats[i].plays == 0.0 {
+                f64::INFINITY
+            } else {
+                let bonus = (((t + 1) as f64).ln() / stats[i].plays).sqrt();
+                let s = stats[i].mean_reward + UCB_EXPLORATION * bonus;
+                if s.is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    s
+                }
+            }
+        };
+        let tiebreak = |i: usize| {
+            derive_round_seed(
+                config.seed ^ TIEBREAK_SALT,
+                t.wrapping_mul(backends.len() as u64).wrapping_add(i as u64),
+            )
+        };
+        let leader = alive
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                (score(a), tiebreak(a))
+                    .partial_cmp(&(score(b), tiebreak(b)))
+                    .expect("scores are NaN-free")
+            })
+            .expect("alive is non-empty");
+
+        // Reallocation: the leader gets a full slice, every other live
+        // arm a probe slice — except coarse arms (Powell), for which any
+        // slice costs a whole round: they only run when they lead (the
+        // never-led bootstrap and the growing UCB bonus still get them
+        // scheduled, just never as throwaway probes).
+        let allocation: Vec<(usize, usize)> = alive
+            .iter()
+            .filter(|&&i| i == leader || !coarse[i])
+            .map(|&i| (i, if i == leader { base_slice } else { probe_slice }))
+            .collect();
+
+        // The arms are independent state machines, so stepping them in
+        // parallel and folding the statistics in arm order below is
+        // bit-identical at any worker count.
+        let outcomes = wdm_mo::scoped_map(
+            workers.min(allocation.len()),
+            allocation.len(),
+            |k| {
+                let (i, slice) = allocation[k];
+                let mut arm = lock(i);
+                let evals_before = arm.evals();
+                let best_before = arm.best_value();
+                arm.step(slice);
+                (i, arm.evals() - evals_before, best_before, arm.best_value(), arm.found())
+            },
+        );
+        for (i, delta_evals, before, after, arm_found) in outcomes {
+            spent += delta_evals;
+            let reward = improvement(before, after);
+            let stat = &mut stats[i];
+            // Probe slices feed the reward average too; only leaderships
+            // count as plays (see the score comment above).
+            if i == leader {
+                stat.plays += 1.0;
+            }
+            if stat.seen {
+                stat.mean_reward += REWARD_DECAY * (reward - stat.mean_reward);
+            } else {
+                stat.mean_reward = reward;
+                stat.seen = true;
+            }
+            found |= arm_found;
+        }
+        t += 1;
+    }
+
+    // First-hit (and external) cancellation: fire the shared token and let
+    // every unfinished arm observe it at its next checkpoint — a
+    // deterministic, bounded amount of work per arm. One step is not
+    // always enough: a never-stepped arm's first slice can pause at the
+    // slice quantum right after its start phase, *before* reaching a
+    // cancellation check — but with the token fired, every further step
+    // finishes a round or the run, so this terminates in a few steps.
+    if found || cancel.is_cancelled() {
+        race.cancel();
+        for i in 0..arms.len() {
+            let mut arm = lock(i);
+            while !arm.is_finished() {
+                arm.step(1);
+            }
+        }
+    }
+
+    let runs: Vec<MinimizationRun> = arms
+        .into_iter()
+        .map(|arm| arm.into_inner().expect("adaptive arm lock").run())
+        .collect();
+    let winner = pick_winner(&runs);
+    PortfolioRun {
+        winner,
+        entries: backends
+            .iter()
+            .zip(runs)
+            .map(|(&backend, run)| PortfolioEntry { backend, run })
+            .collect(),
+    }
+}
+
+/// Adaptive portfolio mode (see the module docs): reallocates one run's
+/// budget across `backends` with a deterministic bandit, stopping early
+/// when some backend's weak distance reaches zero.
+///
+/// # Panics
+///
+/// Panics if `backends` is empty.
+pub fn minimize_weak_distance_adaptive(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    backends: &[BackendKind],
+) -> PortfolioRun {
+    minimize_weak_distance_adaptive_cancellable(wd, config, backends, &CancelToken::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{minimize_weak_distance, PortfolioPolicy};
+    use crate::weak_distance::FnWeakDistance;
+    use crate::Outcome;
+    use fp_runtime::Interval;
+
+    fn wd_two_zeros() -> impl WeakDistance {
+        FnWeakDistance::new(1, vec![Interval::symmetric(1.0e4)], |x: &[f64]| {
+            (x[0] - 1.0).abs() * (x[0] + 3.0).abs()
+        })
+    }
+
+    fn wd_zero_free() -> impl WeakDistance {
+        FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            x[0].abs() + 0.5
+        })
+    }
+
+    #[test]
+    fn improvement_reward_shape() {
+        assert_eq!(improvement(f64::INFINITY, 3.0), 1.0);
+        assert_eq!(improvement(10.0, 5.0), 0.5);
+        assert_eq!(improvement(10.0, 10.0), 0.0);
+        assert_eq!(improvement(5.0, 10.0), 0.0);
+        assert_eq!(improvement(f64::NAN, 1.0), 1.0); // NaN -> finite is progress
+        assert_eq!(improvement(1.0, f64::NAN), 0.0);
+        assert_eq!(improvement(0.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn stepped_analysis_matches_driver_run_at_any_slicing() {
+        for backend in BackendKind::all() {
+            let wd = wd_zero_free();
+            let config = AnalysisConfig::quick(11)
+                .with_backend(backend)
+                .with_rounds(3)
+                .with_max_evals(2_000)
+                .recording(2);
+            let direct = minimize_weak_distance(&wd, &config);
+            for slice in [64usize, 700, usize::MAX] {
+                let mut analysis = SteppedAnalysis::new(&wd, &config, CancelToken::new());
+                while !analysis.step(slice) {}
+                assert!(analysis.is_finished());
+                let run = analysis.run();
+                assert_eq!(run.outcome, direct.outcome, "{backend:?} slice {slice}");
+                assert_eq!(run.best, direct.best, "{backend:?} slice {slice}");
+                assert_eq!(
+                    run.trace.samples(),
+                    direct.trace.samples(),
+                    "{backend:?} slice {slice}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_backend_adaptive_equals_direct_run() {
+        for backend in BackendKind::all() {
+            let wd = wd_two_zeros();
+            let config = AnalysisConfig::quick(5).with_backend(backend).with_rounds(2);
+            let direct = minimize_weak_distance(&wd, &config);
+            let adaptive = minimize_weak_distance_adaptive(&wd, &config, &[backend]);
+            assert_eq!(adaptive.entries.len(), 1);
+            assert_eq!(adaptive.winner, 0);
+            let entry = &adaptive.entries[0].run;
+            assert_eq!(entry.outcome, direct.outcome, "{backend:?}");
+            assert_eq!(entry.best, direct.best, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_portfolio_finds_a_zero_and_reports_all_entries() {
+        let run = minimize_weak_distance_adaptive(
+            &wd_two_zeros(),
+            &AnalysisConfig::quick(2).with_rounds(2),
+            &BackendKind::all(),
+        );
+        assert_eq!(run.entries.len(), 5);
+        match run.outcome() {
+            Outcome::Found { input, .. } => {
+                let x = input[0];
+                assert!(x == 1.0 || x == -3.0, "x = {x}");
+            }
+            Outcome::NotFound { best_value, .. } => panic!("not found, best = {best_value}"),
+        }
+        assert!(run.entries[run.winner].run.outcome.is_found());
+    }
+
+    #[test]
+    fn adaptive_budget_is_one_run_not_n_runs() {
+        // Zero-free: nothing terminates early, so the scheduler spends the
+        // pool. Five raced backends would cost ~5x rounds*max_evals; the
+        // adaptive pool is 1x (plus bounded slice-granularity overshoot).
+        let wd = wd_zero_free();
+        let config = AnalysisConfig::quick(7).with_rounds(2).with_max_evals(4_000);
+        let run = minimize_weak_distance_adaptive(&wd, &config, &BackendKind::all());
+        let pool = 2 * 4_000;
+        let total = run.outcome().evals();
+        assert!(total > pool / 2, "scheduler under-spent: {total}");
+        // Overshoot bound: one scheduler round of slices plus per-arm
+        // checkpoint overshoot (a basin-hopping hop, a DE generation).
+        assert!(total < 2 * pool, "scheduler overspent: {total}");
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_across_parallelism() {
+        let wd = wd_zero_free();
+        let base = AnalysisConfig::quick(13).with_rounds(2).with_max_evals(3_000);
+        let reference = minimize_weak_distance_adaptive(&wd, &base, &BackendKind::all());
+        for threads in [2usize, 4, 8] {
+            let run = minimize_weak_distance_adaptive(
+                &wd,
+                &base.clone().with_parallelism(threads),
+                &BackendKind::all(),
+            );
+            assert_eq!(run.winner, reference.winner, "threads = {threads}");
+            for (a, b) in run.entries.iter().zip(&reference.entries) {
+                assert_eq!(a.backend, b.backend);
+                assert_eq!(a.run.outcome, b.run.outcome, "threads = {threads}");
+                assert_eq!(a.run.best, b.run.best, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_dispatches_on_policy() {
+        let wd = wd_zero_free();
+        let config = AnalysisConfig::quick(3)
+            .with_rounds(1)
+            .with_max_evals(2_000)
+            .with_portfolio_policy(PortfolioPolicy::Adaptive);
+        let via_policy = crate::driver::minimize_weak_distance_portfolio(
+            &wd,
+            &config,
+            &[BackendKind::BasinHopping, BackendKind::RandomSearch],
+        );
+        let direct = minimize_weak_distance_adaptive(
+            &wd,
+            &config,
+            &[BackendKind::BasinHopping, BackendKind::RandomSearch],
+        );
+        assert_eq!(via_policy.winner, direct.winner);
+        for (a, b) in via_policy.entries.iter().zip(&direct.entries) {
+            assert_eq!(a.run.outcome, b.run.outcome);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_adaptive_reports_cleanly() {
+        let wd = wd_zero_free();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        // BasinHopping's first slice pauses right after its start phase,
+        // before any cancellation check — the finalization loop must keep
+        // stepping until every arm actually observes the token.
+        let run = minimize_weak_distance_adaptive_cancellable(
+            &wd,
+            &AnalysisConfig::quick(1).with_rounds(3),
+            &[
+                BackendKind::BasinHopping,
+                BackendKind::DifferentialEvolution,
+                BackendKind::RandomSearch,
+            ],
+            &cancel,
+        );
+        assert_eq!(run.entries.len(), 3);
+        for entry in &run.entries {
+            assert_eq!(
+                entry.run.best.termination,
+                wdm_mo::Termination::Cancelled,
+                "{:?}",
+                entry.backend
+            );
+        }
+        // The scheduler never granted a slice; arms observed the
+        // cancellation in the finalization steps and spent almost nothing.
+        assert!(run.outcome().evals() < 5_000, "evals = {}", run.outcome().evals());
+    }
+}

@@ -44,7 +44,7 @@ use fp_runtime::KernelPolicy;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use wdm_mo::{
     BasinHopping, CancelToken, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart,
-    NoTrace, Powell, Problem, RandomSearch, SamplingTrace,
+    NoTrace, Powell, Problem, RandomSearch, SamplingTrace, SteppedMinimizer,
 };
 
 /// Which MO backend Algorithm 2 uses (Section 4.1 treats the backend as an
@@ -95,6 +95,37 @@ impl BackendKind {
             BackendKind::RandomSearch => Box::new(RandomSearch::default()),
         }
     }
+
+    /// Builds the backend as a resumable stepped run — the seam the
+    /// adaptive portfolio scheduler ([`crate::adaptive`]) reallocates
+    /// budget through. Runs are bit-identical to [`GlobalMinimizer`] runs
+    /// however they are sliced. Powell has no internal checkpoint, so its
+    /// "stepped" run is coarse: the whole run is one slice.
+    pub fn build_stepped(self) -> Box<dyn SteppedMinimizer> {
+        match self {
+            BackendKind::BasinHopping => Box::new(BasinHopping::default()),
+            BackendKind::DifferentialEvolution => Box::new(DifferentialEvolution::default()),
+            BackendKind::Powell => Box::new(Powell::default()),
+            BackendKind::MultiStart => Box::new(MultiStart::default()),
+            BackendKind::RandomSearch => Box::new(RandomSearch::default()),
+        }
+    }
+}
+
+/// How [`minimize_weak_distance_portfolio`] spends the backends' budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortfolioPolicy {
+    /// Race every backend to the end, each with the full round/budget
+    /// configuration; the first backend to find a zero cancels the rest.
+    /// N backends cost up to N full runs, and which backend wins the race
+    /// is timing-dependent (the witness is still always a true zero).
+    #[default]
+    Race,
+    /// Bandit-driven budget reallocation across resumable backends
+    /// ([`crate::adaptive`]): one full run's worth of budget total,
+    /// reallocated each scheduler round toward the backend with the best
+    /// residual trajectory. Bit-identical at any thread count.
+    Adaptive,
 }
 
 /// Configuration of one analysis run.
@@ -127,6 +158,11 @@ pub struct AnalysisConfig {
     /// [`Analyzable::batch_executor`]: fp_runtime::Analyzable::batch_executor
     /// [`KernelPolicy::Auto`]: fp_runtime::KernelPolicy::Auto
     pub kernel_policy: KernelPolicy,
+    /// How [`minimize_weak_distance_portfolio`] spends the backends'
+    /// budget: race them all to the end ([`PortfolioPolicy::Race`], the
+    /// default) or reallocate one run's budget adaptively
+    /// ([`PortfolioPolicy::Adaptive`]).
+    pub portfolio_policy: PortfolioPolicy,
 }
 
 impl AnalysisConfig {
@@ -141,6 +177,7 @@ impl AnalysisConfig {
             sample_stride: 1,
             parallelism: 1,
             kernel_policy: KernelPolicy::Auto,
+            portfolio_policy: PortfolioPolicy::Race,
         }
     }
 
@@ -155,6 +192,7 @@ impl AnalysisConfig {
             sample_stride: 1,
             parallelism: 1,
             kernel_policy: KernelPolicy::Auto,
+            portfolio_policy: PortfolioPolicy::Race,
         }
     }
 
@@ -196,6 +234,13 @@ impl AnalysisConfig {
     /// backend evaluates the program.
     pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
+        self
+    }
+
+    /// Sets the portfolio policy [`minimize_weak_distance_portfolio`]
+    /// dispatches on.
+    pub fn with_portfolio_policy(mut self, portfolio_policy: PortfolioPolicy) -> Self {
+        self.portfolio_policy = portfolio_policy;
         self
     }
 
@@ -318,35 +363,21 @@ fn run_round(
     RoundRun { result, trace }
 }
 
-/// Merges per-round results exactly as the sequential restart loop would:
-/// rounds are charged in index order up to and including the first round
-/// whose minimum reached zero; later rounds (run speculatively by the
-/// parallel path, or never run at all) are discarded.
-fn merge_rounds(rounds: Vec<Option<RoundRun>>) -> MinimizationRun {
-    let mut best: Option<MinimizeResult> = None;
-    let mut total_evals = 0usize;
-    let mut trace: Option<SamplingTrace> = None;
-    for round in rounds.into_iter() {
-        let round = round.expect("every merged round must have completed");
-        total_evals += round.result.evals;
-        match &mut trace {
-            None => trace = Some(round.trace),
-            Some(t) => t.append(round.trace),
-        }
-        let is_better = best
-            .as_ref()
-            .map(|b| round.result.value < b.value || b.value.is_nan())
-            .unwrap_or(true);
-        if is_better {
-            best = Some(round.result);
-        }
-        if best.as_ref().map(|b| b.value <= 0.0).unwrap_or(false) {
-            break;
-        }
-    }
+/// The restart-merge comparison: does a round's `result` replace the
+/// incumbent best? (Strictly smaller value, or the incumbent is NaN.)
+/// Shared with the incremental merge of [`crate::adaptive::SteppedAnalysis`],
+/// whose bit-identity to this merge is load-bearing.
+pub(crate) fn round_improves(result: &MinimizeResult, incumbent: Option<&MinimizeResult>) -> bool {
+    incumbent
+        .map(|b| result.value < b.value || b.value.is_nan())
+        .unwrap_or(true)
+}
 
-    let best = best.expect("at least one round ran");
-    let outcome = if best.value <= 0.0 {
+/// Assembles the Definition 2.1 outcome from a merged best result and the
+/// total charged evaluations. Shared with the incremental merge of
+/// [`crate::adaptive::SteppedAnalysis`].
+pub(crate) fn outcome_from_best(best: &MinimizeResult, total_evals: usize) -> Outcome {
+    if best.value <= 0.0 {
         Outcome::Found {
             input: best.x.clone(),
             evals: total_evals,
@@ -357,7 +388,43 @@ fn merge_rounds(rounds: Vec<Option<RoundRun>>) -> MinimizationRun {
             best_input: best.x.clone(),
             evals: total_evals,
         }
-    };
+    }
+}
+
+/// Merges per-round results exactly as the sequential restart loop would:
+/// rounds are charged in index order up to and including the first round
+/// whose minimum reached zero; later rounds (run speculatively by the
+/// parallel path, or never run at all) are discarded. A `None` round was
+/// skipped — an earlier round hit zero, or cancellation stopped the
+/// restart loop before it started — so nothing at or past it is charged.
+/// Under mid-run cancellation with parallelism, a later round claimed
+/// just before the token fired may have completed; like post-hit
+/// speculation, its work is discarded and uncharged — the merge always
+/// reports a sequential prefix (race-mode cancellation timing is
+/// nondeterministic either way; pre-cancelled runs have no in-flight
+/// speculation, so their charged count exactly matches what the objective
+/// observed, which the regression tests pin).
+fn merge_rounds(rounds: Vec<Option<RoundRun>>) -> MinimizationRun {
+    let mut best: Option<MinimizeResult> = None;
+    let mut total_evals = 0usize;
+    let mut trace: Option<SamplingTrace> = None;
+    for round in rounds.into_iter() {
+        let Some(round) = round else { break };
+        total_evals += round.result.evals;
+        match &mut trace {
+            None => trace = Some(round.trace),
+            Some(t) => t.append(round.trace),
+        }
+        if round_improves(&round.result, best.as_ref()) {
+            best = Some(round.result);
+        }
+        if best.as_ref().map(|b| b.value <= 0.0).unwrap_or(false) {
+            break;
+        }
+    }
+
+    let best = best.expect("at least one round ran");
+    let outcome = outcome_from_best(&best, total_evals);
     MinimizationRun {
         outcome,
         best,
@@ -394,9 +461,16 @@ pub fn minimize_weak_distance_cancellable(
 
     let round_runs: Vec<Option<RoundRun>> = if workers <= 1 {
         // Sequential path: run rounds in order, stop after the first zero
-        // (exactly what merge_rounds charges).
+        // (exactly what merge_rounds charges). A cancelled run stops
+        // *between* rounds too: round 0 always runs (so the merge has a
+        // result to report), but starting further rounds only to watch
+        // each observe the cancellation would charge spurious evaluations
+        // to the portfolio entry.
         let mut runs: Vec<Option<RoundRun>> = Vec::with_capacity(rounds);
         for round in 0..rounds {
+            if round > 0 && cancel.is_cancelled() {
+                break;
+            }
             let run = run_round(&objective, &bounds, config, round, cancel.clone());
             let hit = run.result.value <= 0.0;
             runs.push(Some(run));
@@ -433,6 +507,12 @@ fn run_rounds_parallel(
         // A strictly earlier round already hit zero: this round's result
         // would be discarded by the merge — skip it.
         if first_hit.load(Ordering::Acquire) < round {
+            return None;
+        }
+        // The whole run was cancelled: don't start further rounds (the
+        // merge stops at the first skipped round; round 0 still runs so
+        // there is a result to report).
+        if round > 0 && cancel.is_cancelled() {
             return None;
         }
         let run = run_round(objective, bounds, config, round, tokens[round].clone());
@@ -518,20 +598,56 @@ impl PortfolioRun {
     }
 }
 
-/// Portfolio mode: races `backends` on `wd`, each with the full
-/// round/budget configuration, cancelling the rest as soon as one finds a
-/// zero.
+/// Picks the reported entry of a portfolio: the first backend (in the
+/// given order) with a solution, otherwise the best residual (NaN-aware).
+pub(crate) fn pick_winner(runs: &[MinimizationRun]) -> usize {
+    runs.iter()
+        .position(|r| r.outcome.is_found())
+        .unwrap_or_else(|| {
+            let mut best = 0usize;
+            for (i, run) in runs.iter().enumerate() {
+                let (b, c) = (runs[best].best.value, run.best.value);
+                if c < b || (b.is_nan() && !c.is_nan()) {
+                    best = i;
+                }
+            }
+            best
+        })
+}
+
+/// Portfolio mode: runs `backends` on `wd` under the configured
+/// [`PortfolioPolicy`].
 ///
-/// The returned witness (if any) is always a true zero of the weak
-/// distance; *which* backend provides it — and how many evaluations the
-/// cancelled backends spent — depends on thread timing. Use restart
-/// sharding ([`AnalysisConfig::parallelism`]) when bit-level reproducibility
-/// matters more than time-to-first-solution.
+/// * [`PortfolioPolicy::Race`] (default) races every backend with the full
+///   round/budget configuration, cancelling the rest as soon as one finds
+///   a zero. The returned witness (if any) is always a true zero of the
+///   weak distance; *which* backend provides it — and how many evaluations
+///   the cancelled backends spent — depends on thread timing. Use restart
+///   sharding ([`AnalysisConfig::parallelism`]) when bit-level
+///   reproducibility matters more than time-to-first-solution.
+/// * [`PortfolioPolicy::Adaptive`] reallocates one run's worth of budget
+///   across resumable backends with a deterministic bandit scheduler
+///   ([`crate::adaptive`]); the result is bit-identical at any
+///   [`AnalysisConfig::parallelism`].
 ///
 /// # Panics
 ///
 /// Panics if `backends` is empty.
 pub fn minimize_weak_distance_portfolio(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    backends: &[BackendKind],
+) -> PortfolioRun {
+    match config.portfolio_policy {
+        PortfolioPolicy::Race => race_portfolio(wd, config, backends),
+        PortfolioPolicy::Adaptive => {
+            crate::adaptive::minimize_weak_distance_adaptive(wd, config, backends)
+        }
+    }
+}
+
+/// The [`PortfolioPolicy::Race`] implementation.
+fn race_portfolio(
     wd: &dyn WeakDistance,
     config: &AnalysisConfig,
     backends: &[BackendKind],
@@ -565,20 +681,7 @@ pub fn minimize_weak_distance_portfolio(
             .collect()
     });
 
-    let winner = runs
-        .iter()
-        .position(|r| r.outcome.is_found())
-        .unwrap_or_else(|| {
-            // Nobody found a zero: report the best residual (NaN-aware).
-            let mut best = 0usize;
-            for (i, run) in runs.iter().enumerate() {
-                let (b, c) = (runs[best].best.value, run.best.value);
-                if c < b || (b.is_nan() && !c.is_nan()) {
-                    best = i;
-                }
-            }
-            best
-        });
+    let winner = pick_winner(&runs);
     PortfolioRun {
         winner,
         entries: backends
@@ -741,6 +844,78 @@ mod tests {
         // A pre-cancelled run spends almost nothing (only the evaluations a
         // backend performs before its first stop check).
         assert!(run.outcome.evals() < 5_000, "evals = {}", run.outcome.evals());
+    }
+
+    /// Regression (PR 5): a cancelled run used to launch every remaining
+    /// restart round anyway; each round burned evaluations before
+    /// observing the token, so a cancelled portfolio entry charged several
+    /// rounds' worth of spurious work and its eval count drifted from what
+    /// the objective actually saw. A cancelled run now stops between
+    /// rounds, and the charged count equals the objective-observed count.
+    #[test]
+    fn cancelled_run_does_not_start_further_rounds() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x[0].abs() + 1.0
+        });
+        let cancel = CancelToken::new();
+        cancel.cancel();
+
+        let one_round = minimize_weak_distance_cancellable(
+            &wd,
+            &AnalysisConfig::quick(1).with_rounds(1).with_max_evals(100_000),
+            &cancel,
+        );
+        let counted_one = count.swap(0, Ordering::Relaxed);
+        assert_eq!(one_round.outcome.evals() as u64, counted_one);
+
+        for parallelism in [1usize, 4] {
+            let five_rounds = minimize_weak_distance_cancellable(
+                &wd,
+                &AnalysisConfig::quick(1)
+                    .with_rounds(5)
+                    .with_max_evals(100_000)
+                    .with_parallelism(parallelism),
+                &cancel,
+            );
+            let counted = count.swap(0, Ordering::Relaxed);
+            // Charged == objective-observed (nothing leaks past the merge)…
+            assert_eq!(five_rounds.outcome.evals() as u64, counted);
+            // …and rounds 1..4 never started: the 5-round cancelled run is
+            // exactly the 1-round cancelled run.
+            assert_eq!(five_rounds.outcome, one_round.outcome, "parallelism {parallelism}");
+            assert_eq!(five_rounds.best, one_round.best, "parallelism {parallelism}");
+        }
+    }
+
+    /// The same accounting invariant through the batched (Differential
+    /// Evolution) path: with the stop pending at batch entry, the
+    /// objective sees exactly the one sample the scalar post-check loop
+    /// evaluates per round — and only round 0 runs.
+    #[test]
+    fn cancelled_batched_run_charges_exactly_what_the_objective_saw() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let count = AtomicU64::new(0);
+        let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x[0].abs() + 1.0
+        });
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let run = minimize_weak_distance_cancellable(
+            &wd,
+            &AnalysisConfig::quick(2)
+                .with_rounds(4)
+                .with_backend(BackendKind::DifferentialEvolution),
+            &cancel,
+        );
+        let counted = count.load(Ordering::Relaxed);
+        assert_eq!(run.outcome.evals() as u64, counted);
+        // One pre-cancelled batch evaluates exactly one sample.
+        assert_eq!(run.outcome.evals(), 1);
+        assert_eq!(run.best.termination, wdm_mo::Termination::Cancelled);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod boundary;
 pub mod coverage;
 pub mod driver;
@@ -50,8 +51,10 @@ pub mod overflow;
 pub mod path;
 pub mod weak_distance;
 
+pub use adaptive::{minimize_weak_distance_adaptive, SteppedAnalysis};
 pub use driver::{
     derive_round_seed, minimize_weak_distance, minimize_weak_distance_cancellable,
-    minimize_weak_distance_portfolio, AnalysisConfig, BackendKind, Outcome, PortfolioRun,
+    minimize_weak_distance_portfolio, AnalysisConfig, BackendKind, Outcome, PortfolioPolicy,
+    PortfolioRun,
 };
 pub use weak_distance::WeakDistance;

@@ -1,0 +1,94 @@
+//! Adaptive portfolio scheduling at the engine level.
+//!
+//! The scheduler itself lives in [`wdm_core::adaptive`] (the policy seam
+//! must sit below
+//! [`minimize_weak_distance_portfolio`](wdm_core::minimize_weak_distance_portfolio),
+//! which dispatches on [`PortfolioPolicy`](wdm_core::PortfolioPolicy));
+//! this module is the engine surface: the full-suite convenience
+//! [`adaptive_all`] mirroring [`race_all`](crate::race_all), the
+//! re-exports, and the engine-level guarantees.
+//!
+//! # Race vs. Adaptive
+//!
+//! | | `PortfolioPolicy::Race` | `PortfolioPolicy::Adaptive` |
+//! |---|---|---|
+//! | budget | up to N full runs | one full run, reallocated |
+//! | winner | timing-dependent | deterministic |
+//! | thread count | changes who wins | bit-identical outcome |
+//! | first hit | cancels losers instantly | cancels at slice granularity |
+//!
+//! Adaptive mode steps every backend in eval-budget slices
+//! ([`wdm_mo::SteppedMinimizer`]) and reallocates the remaining budget each
+//! scheduler round with a deterministic UCB bandit on per-slice
+//! best-residual improvement. Slices of one scheduler round run on scoped
+//! workers ([`AnalysisConfig::parallelism`]); the arms are independent
+//! state machines, so the outcome is bit-identical at any thread count.
+
+pub use wdm_core::adaptive::{
+    minimize_weak_distance_adaptive, minimize_weak_distance_adaptive_cancellable, SteppedAnalysis,
+};
+use wdm_core::driver::PortfolioRun;
+use wdm_core::{AnalysisConfig, BackendKind, WeakDistance};
+
+/// Runs every [`BackendKind`] on `wd` under the adaptive scheduler
+/// (regardless of the configured policy — use
+/// [`minimize_weak_distance_portfolio`](wdm_core::minimize_weak_distance_portfolio)
+/// to dispatch on [`AnalysisConfig::portfolio_policy`]).
+///
+/// # Example
+///
+/// ```
+/// use fp_runtime::Interval;
+/// use wdm_core::weak_distance::FnWeakDistance;
+/// use wdm_core::AnalysisConfig;
+///
+/// let wd = FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], |x: &[f64]| {
+///     (x[0] - 4.0).abs()
+/// });
+/// let run = wdm_engine::adaptive_all(&wd, &AnalysisConfig::quick(1).with_rounds(2));
+/// assert!(run.outcome().is_found());
+/// ```
+pub fn adaptive_all(wd: &dyn WeakDistance, config: &AnalysisConfig) -> PortfolioRun {
+    minimize_weak_distance_adaptive(wd, config, &BackendKind::all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::{programs, ModuleProgram};
+    use wdm_core::boundary::BoundaryWeakDistance;
+
+    fn fig2_wd() -> BoundaryWeakDistance<ModuleProgram> {
+        BoundaryWeakDistance::new(
+            ModuleProgram::new(programs::fig2_program(), "prog").expect("fig2 entry"),
+        )
+    }
+
+    #[test]
+    fn adaptive_all_solves_fig2_boundary() {
+        let run = adaptive_all(
+            &fig2_wd(),
+            &AnalysisConfig::quick(7).with_rounds(2).with_max_evals(8_000),
+        );
+        assert_eq!(run.entries.len(), BackendKind::all().len());
+        assert!(run.outcome().is_found());
+        assert!(run.entries[run.winner].run.outcome.is_found());
+    }
+
+    #[test]
+    fn adaptive_on_interpreted_program_is_thread_count_invariant() {
+        // The full stack under the scheduler: fpir-interpreted weak
+        // distance, batched sessions, kernel policy — bit-identical
+        // entries at every worker count.
+        let base = AnalysisConfig::quick(17).with_rounds(1).with_max_evals(3_000);
+        let reference = adaptive_all(&fig2_wd(), &base);
+        for threads in [2usize, 8] {
+            let run = adaptive_all(&fig2_wd(), &base.clone().with_parallelism(threads));
+            assert_eq!(run.winner, reference.winner, "threads = {threads}");
+            for (a, b) in run.entries.iter().zip(&reference.entries) {
+                assert_eq!(a.run.outcome, b.run.outcome, "threads = {threads}");
+                assert_eq!(a.run.best, b.run.best, "threads = {threads}");
+            }
+        }
+    }
+}

@@ -9,7 +9,10 @@
 //! 1. **Portfolio mode** ([`race_all`],
 //!    [`minimize_weak_distance_portfolio`]) — every [`BackendKind`] races
 //!    on one problem; the first backend to find a zero cancels the rest
-//!    through a shared [`CancelToken`].
+//!    through a shared [`CancelToken`]. Under
+//!    [`PortfolioPolicy::Adaptive`] ([`adaptive_all`]) the race is
+//!    replaced by a deterministic bandit scheduler that reallocates one
+//!    run's budget across resumable backends each round.
 //! 2. **Restart sharding** ([`AnalysisConfig::with_parallelism`]) — the
 //!    Algorithm-3 rounds are split across workers with deterministic
 //!    per-shard seeds ([`derive_round_seed`], a SplitMix64-style bijective
@@ -45,19 +48,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod campaign;
 pub mod pool;
 pub mod portfolio;
 pub mod threads;
 
+pub use adaptive::{adaptive_all, minimize_weak_distance_adaptive, SteppedAnalysis};
 pub use batch::PooledObjective;
-pub use campaign::{gsl_suite, Campaign, CampaignJob, CampaignReport, JobReport, JobResult};
+pub use campaign::{
+    gsl_portfolio_suite, gsl_suite, Campaign, CampaignJob, CampaignReport, JobReport, JobResult,
+};
 pub use pool::WorkerPool;
 pub use portfolio::{minimize_weak_distance_portfolio, race_all, PortfolioEntry, PortfolioRun};
 pub use threads::suggested_parallelism;
 
 // Re-exported so engine users have the whole parallel surface in one place.
 pub use wdm_core::driver::derive_round_seed;
-pub use wdm_core::{AnalysisConfig, BackendKind};
+pub use wdm_core::{AnalysisConfig, BackendKind, PortfolioPolicy};
 pub use wdm_mo::{scoped_map, CancelToken};

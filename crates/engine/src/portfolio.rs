@@ -8,7 +8,11 @@
 pub use wdm_core::driver::{minimize_weak_distance_portfolio, PortfolioEntry, PortfolioRun};
 use wdm_core::{AnalysisConfig, BackendKind, WeakDistance};
 
-/// Races every [`BackendKind`] on `wd` with first-hit cancellation.
+/// Races every [`BackendKind`] on `wd` with first-hit cancellation,
+/// regardless of the configured
+/// [`portfolio_policy`](AnalysisConfig::portfolio_policy) — the mirror of
+/// [`adaptive_all`](crate::adaptive_all); use
+/// [`minimize_weak_distance_portfolio`] to dispatch on the config.
 ///
 /// # Example
 ///
@@ -24,7 +28,10 @@ use wdm_core::{AnalysisConfig, BackendKind, WeakDistance};
 /// assert!(run.outcome().is_found());
 /// ```
 pub fn race_all(wd: &dyn WeakDistance, config: &AnalysisConfig) -> PortfolioRun {
-    minimize_weak_distance_portfolio(wd, config, &BackendKind::all())
+    let config = config
+        .clone()
+        .with_portfolio_policy(wdm_core::PortfolioPolicy::Race);
+    minimize_weak_distance_portfolio(wd, &config, &BackendKind::all())
 }
 
 #[cfg(test)]

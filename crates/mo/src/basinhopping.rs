@@ -17,8 +17,10 @@ use crate::evaluator::Evaluator;
 use crate::nelder_mead::NelderMead;
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
+use crate::stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 use crate::{better, GlobalMinimizer, LocalMinimizer, Problem};
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 
 /// Which local search basin hopping uses between hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +203,171 @@ impl BasinHopping {
     }
 }
 
+/// The resumable state of one basin-hopping run: the RNG stream, the
+/// current and best local minima, the hop counter and the charged total.
+struct BasinHoppingStep {
+    cfg: BasinHopping,
+    dim: usize,
+    rng: ChaCha8Rng,
+    started: bool,
+    hop: usize,
+    current: Option<MinimizeResult>,
+    best: Option<MinimizeResult>,
+    total_evals: usize,
+    finished: Option<MinimizeResult>,
+}
+
+impl BasinHoppingStep {
+    fn finish(&mut self, termination: Termination) -> StepStatus {
+        let best = self.best.clone().expect("basin hopping ran its start phase");
+        self.finished = Some(MinimizeResult::new(
+            best.x,
+            best.value,
+            self.total_evals,
+            termination,
+        ));
+        StepStatus::Finished
+    }
+}
+
+impl MinimizerStep for BasinHoppingStep {
+    fn step(
+        &mut self,
+        problem: &Problem<'_>,
+        slice: usize,
+        sink: &mut dyn SampleSink,
+    ) -> StepStatus {
+        if self.finished.is_some() {
+            return StepStatus::Finished;
+        }
+        let slice = slice.max(1);
+        let slice_start = self.total_evals;
+
+        if !self.started {
+            // Starting point and its local refinement.
+            let start = problem.bounds.sample(&mut self.rng);
+            let budget0 = self.cfg.local_max_evals.min(problem.max_evals);
+            let refined = self.cfg.local_refine(problem, &start, budget0, sink);
+            let current = self.cfg.maybe_polish(problem, refined, sink);
+            self.total_evals += current.evals;
+            self.best = Some(current.clone());
+            self.current = Some(current);
+            self.started = true;
+            if self.best.as_ref().expect("just set").value
+                <= problem.target.unwrap_or(f64::NEG_INFINITY)
+            {
+                return self.finish(Termination::TargetReached);
+            }
+        }
+
+        loop {
+            if self.hop >= self.cfg.n_hops {
+                return self.finish(Termination::IterationsCompleted);
+            }
+            if self.total_evals - slice_start >= slice {
+                return StepStatus::Paused;
+            }
+            if problem.is_cancelled() {
+                return self.finish(Termination::Cancelled);
+            }
+            if self.total_evals >= problem.max_evals {
+                return self.finish(Termination::BudgetExhausted);
+            }
+            self.hop += 1;
+            let current = self.current.as_ref().expect("start phase ran");
+            let best_value = self.best.as_ref().expect("start phase ran").value;
+            let proposal = self.cfg.propose(&mut self.rng, &current.x, &problem.bounds);
+            let budget = self
+                .cfg
+                .local_max_evals
+                .min(problem.max_evals.saturating_sub(self.total_evals));
+            if budget == 0 {
+                return self.finish(Termination::BudgetExhausted);
+            }
+            let refined = self.cfg.local_refine(problem, &proposal, budget, sink);
+            let trial = if better(refined.value, best_value) {
+                self.cfg.maybe_polish(problem, refined, sink)
+            } else {
+                refined
+            };
+            self.total_evals += trial.evals;
+
+            if better(trial.value, best_value) {
+                self.best = Some(trial.clone());
+            }
+            if problem.target_reached(self.best.as_ref().expect("start phase ran").value) {
+                return self.finish(Termination::TargetReached);
+            }
+
+            // Metropolis acceptance on the local minima.
+            let current_value = self.current.as_ref().expect("start phase ran").value;
+            let accept = if better(trial.value, current_value) {
+                true
+            } else if trial.value.is_nan() {
+                false
+            } else {
+                let delta = trial.value - current_value;
+                let prob = (-delta / self.cfg.temperature.max(f64::MIN_POSITIVE)).exp();
+                self.rng.gen::<f64>() < prob
+            };
+            if accept {
+                self.current = Some(trial);
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    fn evals(&self) -> usize {
+        self.total_evals
+    }
+
+    fn best_value(&self) -> f64 {
+        self.best
+            .as_ref()
+            .map(|b| b.value)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn result(&self) -> MinimizeResult {
+        if let Some(result) = &self.finished {
+            return result.clone();
+        }
+        match &self.best {
+            Some(best) => MinimizeResult::new(
+                best.x.clone(),
+                best.value,
+                self.total_evals,
+                Termination::BudgetExhausted,
+            ),
+            None => MinimizeResult::new(
+                vec![f64::NAN; self.dim],
+                f64::INFINITY,
+                0,
+                Termination::BudgetExhausted,
+            ),
+        }
+    }
+}
+
+impl SteppedMinimizer for BasinHopping {
+    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
+        Box::new(BasinHoppingStep {
+            cfg: self.clone(),
+            dim: problem.objective.dim(),
+            rng: crate::rng_from_seed(seed),
+            started: false,
+            hop: 0,
+            current: None,
+            best: None,
+            total_evals: 0,
+            finished: crate::reject_invalid(problem),
+        })
+    }
+}
+
 impl GlobalMinimizer for BasinHopping {
     fn minimize(
         &self,
@@ -208,74 +375,7 @@ impl GlobalMinimizer for BasinHopping {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
-        if let Some(invalid) = crate::reject_invalid(problem) {
-            return invalid;
-        }
-        let mut rng = crate::rng_from_seed(seed);
-        let mut total_evals = 0usize;
-
-        // Starting point and its local refinement.
-        let start = problem.bounds.sample(&mut rng);
-        let budget0 = self.local_max_evals.min(problem.max_evals);
-        let refined = self.local_refine(problem, &start, budget0, sink);
-        let mut current = self.maybe_polish(problem, refined, sink);
-        total_evals += current.evals;
-        let mut best = current.clone();
-
-        let mut termination = Termination::IterationsCompleted;
-        if best.value <= problem.target.unwrap_or(f64::NEG_INFINITY) {
-            termination = Termination::TargetReached;
-        } else {
-            for _ in 0..self.n_hops {
-                if problem.is_cancelled() {
-                    termination = Termination::Cancelled;
-                    break;
-                }
-                if total_evals >= problem.max_evals {
-                    termination = Termination::BudgetExhausted;
-                    break;
-                }
-                let proposal = self.propose(&mut rng, &current.x, &problem.bounds);
-                let budget = self
-                    .local_max_evals
-                    .min(problem.max_evals.saturating_sub(total_evals));
-                if budget == 0 {
-                    termination = Termination::BudgetExhausted;
-                    break;
-                }
-                let refined = self.local_refine(problem, &proposal, budget, sink);
-                let trial = if better(refined.value, best.value) {
-                    self.maybe_polish(problem, refined, sink)
-                } else {
-                    refined
-                };
-                total_evals += trial.evals;
-
-                if better(trial.value, best.value) {
-                    best = trial.clone();
-                }
-                if problem.target_reached(best.value) {
-                    termination = Termination::TargetReached;
-                    break;
-                }
-
-                // Metropolis acceptance on the local minima.
-                let accept = if better(trial.value, current.value) {
-                    true
-                } else if trial.value.is_nan() {
-                    false
-                } else {
-                    let delta = trial.value - current.value;
-                    let prob = (-delta / self.temperature.max(f64::MIN_POSITIVE)).exp();
-                    rng.gen::<f64>() < prob
-                };
-                if accept {
-                    current = trial;
-                }
-            }
-        }
-
-        MinimizeResult::new(best.x, best.value, total_evals, termination)
+        crate::stepped::drive(self, problem, seed, sink)
     }
 
     fn backend_name(&self) -> &'static str {

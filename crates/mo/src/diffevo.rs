@@ -18,11 +18,13 @@
 //! propagates NaN, so clamping alone would silently leave the component
 //! broken.
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::{Evaluator, EvaluatorState};
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
+use crate::stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 use crate::{Bounds, GlobalMinimizer, Problem};
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 
 /// Configuration of the Differential Evolution backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,37 +109,75 @@ fn mutate_component<R: Rng + ?Sized>(
     }
 }
 
-impl GlobalMinimizer for DifferentialEvolution {
-    fn minimize(
-        &self,
-        problem: &Problem<'_>,
-        seed: u64,
-        sink: &mut dyn SampleSink,
-    ) -> MinimizeResult {
-        if let Some(invalid) = crate::reject_invalid(problem) {
-            return invalid;
-        }
-        let dim = problem.objective.dim();
-        let np = self.effective_population(dim);
-        let mut rng = crate::rng_from_seed(seed);
-        let mut ev = Evaluator::new(problem, sink);
+/// The resumable state of one DE run: the RNG stream, the population and
+/// its values, the generation counter and the evaluator bookkeeping.
+struct DiffEvoStep {
+    cfg: DifferentialEvolution,
+    dim: usize,
+    np: usize,
+    rng: ChaCha8Rng,
+    ev: EvaluatorState,
+    pop: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    generation: usize,
+    initialized: bool,
+    finished: Option<MinimizeResult>,
+}
 
-        // Initial population, evaluated as one batch.
-        let mut pop: Vec<Vec<f64>> = (0..np).map(|_| problem.bounds.sample(&mut rng)).collect();
-        let mut values: Vec<f64> = Vec::with_capacity(np);
-        ev.eval_batch(&pop, &mut values);
-        while values.len() < np {
-            values.push(f64::INFINITY);
+impl DiffEvoStep {
+    fn finish(&mut self, ev: Evaluator<'_, '_>, mut termination: Termination) -> StepStatus {
+        let (x, value) = ev.best();
+        if ev.target_hit() {
+            termination = Termination::TargetReached;
+        }
+        self.finished = Some(MinimizeResult::new(x, value, ev.evals(), termination));
+        self.ev = ev.suspend();
+        StepStatus::Finished
+    }
+}
+
+impl MinimizerStep for DiffEvoStep {
+    fn step(
+        &mut self,
+        problem: &Problem<'_>,
+        slice: usize,
+        sink: &mut dyn SampleSink,
+    ) -> StepStatus {
+        if self.finished.is_some() {
+            return StepStatus::Finished;
+        }
+        let slice = slice.max(1);
+        let (dim, np) = (self.dim, self.np);
+        // Hand the state to the evaluator by move; every exit path below
+        // suspends it back.
+        let state = std::mem::replace(&mut self.ev, EvaluatorState::fresh(0));
+        let mut ev = Evaluator::resume(problem, sink, state);
+        let slice_start = ev.evals();
+
+        if !self.initialized {
+            // Initial population, evaluated as one batch.
+            ev.eval_batch(&self.pop, &mut self.values);
+            while self.values.len() < np {
+                self.values.push(f64::INFINITY);
+            }
+            self.initialized = true;
         }
 
         let mut trials: Vec<Vec<f64>> = Vec::with_capacity(np);
         let mut trial_values: Vec<f64> = Vec::with_capacity(np);
-        let mut termination = Termination::IterationsCompleted;
-        for _gen in 0..self.max_generations {
-            if ev.should_stop() {
-                termination = ev.termination(Termination::IterationsCompleted);
-                break;
+        loop {
+            if self.generation >= self.cfg.max_generations {
+                return self.finish(ev, Termination::IterationsCompleted);
             }
+            if ev.evals() - slice_start >= slice {
+                self.ev = ev.suspend();
+                return StepStatus::Paused;
+            }
+            if ev.should_stop() {
+                let termination = ev.termination(Termination::IterationsCompleted);
+                return self.finish(ev, termination);
+            }
+            self.generation += 1;
             // Build every trial of this generation from the current
             // population (synchronous update), so the whole generation can
             // be evaluated in one batch below.
@@ -145,24 +185,24 @@ impl GlobalMinimizer for DifferentialEvolution {
             for i in 0..np {
                 // Pick three distinct members different from i.
                 let mut pick = || loop {
-                    let k = rng.gen_range(0..np);
+                    let k = self.rng.gen_range(0..np);
                     if k != i {
                         return k;
                     }
                 };
                 let (a, b, c) = (pick(), pick(), pick());
-                let j_rand = rng.gen_range(0..dim);
-                let mut trial = pop[i].clone();
-                for j in 0..dim {
-                    if rng.gen::<f64>() < self.crossover || j == j_rand {
-                        trial[j] = mutate_component(
-                            pop[a][j],
-                            pop[b][j],
-                            pop[c][j],
-                            self.weight,
+                let j_rand = self.rng.gen_range(0..dim);
+                let mut trial = self.pop[i].clone();
+                for (j, slot) in trial.iter_mut().enumerate() {
+                    if self.rng.gen::<f64>() < self.cfg.crossover || j == j_rand {
+                        *slot = mutate_component(
+                            self.pop[a][j],
+                            self.pop[b][j],
+                            self.pop[c][j],
+                            self.cfg.weight,
                             &problem.bounds,
                             j,
-                            &mut rng,
+                            &mut self.rng,
                         );
                     }
                 }
@@ -174,33 +214,87 @@ impl GlobalMinimizer for DifferentialEvolution {
             // loop over the same trials would have stopped.
             let processed = ev.eval_batch(&trials, &mut trial_values);
             for i in 0..processed {
-                if crate::better(trial_values[i], values[i]) || trial_values[i] == values[i] {
-                    pop[i] = problem.bounds.clamped(&trials[i]);
-                    values[i] = trial_values[i];
+                if crate::better(trial_values[i], self.values[i])
+                    || trial_values[i] == self.values[i]
+                {
+                    self.pop[i] = problem.bounds.clamped(&trials[i]);
+                    self.values[i] = trial_values[i];
                 }
             }
             if processed < np || ev.should_stop() {
-                termination = ev.termination(Termination::IterationsCompleted);
-                break;
+                let termination = ev.termination(Termination::IterationsCompleted);
+                return self.finish(ev, termination);
             }
 
             // Convergence: population values nearly equal.
-            let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            let finite: Vec<f64> = self.values.iter().copied().filter(|v| v.is_finite()).collect();
             if finite.len() == np {
                 let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
                 let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                if (max - min).abs() <= self.f_tol * (1.0 + min.abs()) {
-                    termination = Termination::Converged;
-                    break;
+                if (max - min).abs() <= self.cfg.f_tol * (1.0 + min.abs()) {
+                    return self.finish(ev, Termination::Converged);
                 }
             }
         }
+    }
 
-        let (x, value) = ev.best();
-        if ev.target_hit() {
-            termination = Termination::TargetReached;
+    fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    fn evals(&self) -> usize {
+        self.ev.evals()
+    }
+
+    fn best_value(&self) -> f64 {
+        self.ev.best_value()
+    }
+
+    fn result(&self) -> MinimizeResult {
+        if let Some(result) = &self.finished {
+            return result.clone();
         }
-        MinimizeResult::new(x, value, ev.evals(), termination)
+        let (x, value) = self.ev.best();
+        MinimizeResult::new(x, value, self.ev.evals(), Termination::BudgetExhausted)
+    }
+}
+
+impl SteppedMinimizer for DifferentialEvolution {
+    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
+        let finished = crate::reject_invalid(problem);
+        let dim = problem.objective.dim();
+        let np = self.effective_population(dim);
+        let mut rng = crate::rng_from_seed(seed);
+        // Sampling the initial population here consumes exactly the draws
+        // the run performs before its first objective evaluation.
+        let pop: Vec<Vec<f64>> = if finished.is_none() {
+            (0..np).map(|_| problem.bounds.sample(&mut rng)).collect()
+        } else {
+            Vec::new()
+        };
+        Box::new(DiffEvoStep {
+            cfg: self.clone(),
+            dim,
+            np,
+            rng,
+            ev: EvaluatorState::fresh(dim),
+            pop,
+            values: Vec::with_capacity(np),
+            generation: 0,
+            initialized: false,
+            finished,
+        })
+    }
+}
+
+impl GlobalMinimizer for DifferentialEvolution {
+    fn minimize(
+        &self,
+        problem: &Problem<'_>,
+        seed: u64,
+        sink: &mut dyn SampleSink,
+    ) -> MinimizeResult {
+        crate::stepped::drive(self, problem, seed, sink)
     }
 
     fn backend_name(&self) -> &'static str {

@@ -24,6 +24,47 @@ use crate::{better, Problem};
 /// holds at any chunk size (the batch-equivalence proptests pin it).
 const BATCH_CHUNK: usize = 256;
 
+/// The portable bookkeeping of an [`Evaluator`], detached from the
+/// problem/sink borrows so a stepped backend can carry it across budget
+/// slices ([`Evaluator::resume`] / [`Evaluator::suspend`]). Resuming with
+/// a suspended state is bit-identical to never having suspended.
+#[derive(Debug, Clone)]
+pub struct EvaluatorState {
+    evals: usize,
+    best_x: Vec<f64>,
+    best_value: f64,
+    has_best: bool,
+    target_hit: bool,
+}
+
+impl EvaluatorState {
+    /// The state of a fresh evaluator for a `dim`-dimensional objective.
+    pub fn fresh(dim: usize) -> Self {
+        EvaluatorState {
+            evals: 0,
+            best_x: vec![f64::NAN; dim],
+            best_value: f64::INFINITY,
+            has_best: false,
+            target_hit: false,
+        }
+    }
+
+    /// Evaluations charged so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Best value seen so far (`f64::INFINITY` before the first eval).
+    pub fn best_value(&self) -> f64 {
+        self.best_value
+    }
+
+    /// Best point seen so far.
+    pub fn best(&self) -> (Vec<f64>, f64) {
+        (self.best_x.clone(), self.best_value)
+    }
+}
+
 /// Tracks evaluations for one backend run.
 ///
 /// The canonical scalar shape every backend follows is
@@ -52,15 +93,40 @@ impl<'a, 'b> Evaluator<'a, 'b> {
     /// Creates an evaluator for one backend run over `problem`, recording
     /// every evaluation into `sink`.
     pub fn new(problem: &'a Problem<'a>, sink: &'b mut dyn SampleSink) -> Self {
+        Evaluator::resume(problem, sink, EvaluatorState::fresh(problem.objective.dim()))
+    }
+
+    /// Recreates an evaluator from a [`suspend`](Evaluator::suspend)ed
+    /// state. The problem must be the one the state was built against
+    /// (same objective, bounds, target, budget, cancel token); the stepped
+    /// backends uphold this by passing the identical problem to every
+    /// slice.
+    pub fn resume(
+        problem: &'a Problem<'a>,
+        sink: &'b mut dyn SampleSink,
+        state: EvaluatorState,
+    ) -> Self {
         Evaluator {
             problem,
             sink,
-            evals: 0,
+            evals: state.evals,
             max_evals: problem.max_evals,
-            best_x: vec![f64::NAN; problem.objective.dim()],
-            best_value: f64::INFINITY,
-            has_best: false,
-            target_hit: false,
+            best_x: state.best_x,
+            best_value: state.best_value,
+            has_best: state.has_best,
+            target_hit: state.target_hit,
+        }
+    }
+
+    /// Detaches the bookkeeping so a stepped backend can pause here and
+    /// [`resume`](Evaluator::resume) in a later slice.
+    pub fn suspend(self) -> EvaluatorState {
+        EvaluatorState {
+            evals: self.evals,
+            best_x: self.best_x,
+            best_value: self.best_value,
+            has_best: self.has_best,
+            target_hit: self.target_hit,
         }
     }
 
@@ -456,6 +522,38 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(ev.eval_batch(&xs, &mut out), 1);
         assert_eq!(counted.count(), 1, "tail samples leaked to the objective");
+    }
+
+    #[test]
+    fn suspend_resume_is_invisible() {
+        let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.0).abs());
+        let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_target(0.0);
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 - 4.0]).collect();
+
+        // Uninterrupted reference.
+        let mut trace_a = SamplingTrace::new();
+        let mut ev = Evaluator::new(&p, &mut trace_a);
+        for x in &xs {
+            ev.eval(x);
+        }
+        let (ref_best, ref_evals, ref_hit) = (ev.best(), ev.evals(), ev.target_hit());
+
+        // Suspend/resume after every sample.
+        let mut trace_b = SamplingTrace::new();
+        let mut state = EvaluatorState::fresh(1);
+        assert_eq!(state.evals(), 0);
+        assert!(state.best_value().is_infinite());
+        for x in &xs {
+            let mut ev = Evaluator::resume(&p, &mut trace_b, state);
+            ev.eval(x);
+            state = ev.suspend();
+        }
+        assert_eq!(state.evals(), ref_evals);
+        assert_eq!(state.best(), ref_best);
+        assert_eq!(state.best_value().to_bits(), ref_best.1.to_bits());
+        assert_eq!(trace_b.samples(), trace_a.samples());
+        let ev = Evaluator::resume(&p, &mut trace_b, state);
+        assert_eq!(ev.target_hit(), ref_hit);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! through a [`SampleSink`], which is how the paper's Figures 3(c), 4(c) and
 //! 9 are regenerated.
 //!
+//! The global backends are additionally *resumable*: [`SteppedMinimizer`]
+//! runs them in fixed eval-budget slices carrying their full
+//! RNG/population/incumbent state across slices (see [`stepped`]), which is
+//! the seam the adaptive portfolio scheduler reallocates budget through. A
+//! run sliced any way is bit-identical to the unsliced run.
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +57,7 @@ pub mod powell;
 pub mod random_search;
 pub mod result;
 pub mod sampling;
+pub mod stepped;
 pub mod test_functions;
 pub mod ulp;
 
@@ -67,6 +74,7 @@ pub use powell::Powell;
 pub use random_search::RandomSearch;
 pub use result::{MinimizeResult, Termination};
 pub use sampling::{NoTrace, Sample, SampleSink, SamplingTrace};
+pub use stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 pub use ulp::UlpSearch;
 
 use rand::SeedableRng;

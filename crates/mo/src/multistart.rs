@@ -10,6 +10,7 @@ use crate::nelder_mead::NelderMead;
 use crate::powell::Powell;
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
+use crate::stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 use crate::{better, GlobalMinimizer, LocalMinimizer, Problem};
 
 /// Which local search multi-start repeats.
@@ -61,6 +62,152 @@ impl MultiStart {
     }
 }
 
+/// The resumable state of one multi-start run: the pre-generated starting
+/// points, the cursor into them, the incumbent and the charged total. The
+/// RNG is fully consumed at [`SteppedMinimizer::start`] time (start-point
+/// sampling is its only consumer), so it is not carried.
+struct MultiStartStep {
+    cfg: MultiStart,
+    dim: usize,
+    starts: Vec<Vec<f64>>,
+    next: usize,
+    best: Option<MinimizeResult>,
+    total_evals: usize,
+    finished: Option<MinimizeResult>,
+}
+
+impl MultiStartStep {
+    fn finish(&mut self, termination: Termination) -> StepStatus {
+        let mut result = self.best.clone().unwrap_or_else(|| {
+            MinimizeResult::new(
+                vec![f64::NAN; self.dim],
+                f64::INFINITY,
+                0,
+                Termination::IterationsCompleted,
+            )
+        });
+        result.evals = self.total_evals;
+        result.termination = termination;
+        self.finished = Some(result);
+        StepStatus::Finished
+    }
+}
+
+impl MinimizerStep for MultiStartStep {
+    fn step(
+        &mut self,
+        problem: &Problem<'_>,
+        slice: usize,
+        sink: &mut dyn SampleSink,
+    ) -> StepStatus {
+        if self.finished.is_some() {
+            return StepStatus::Finished;
+        }
+        let slice = slice.max(1);
+        let slice_start = self.total_evals;
+        loop {
+            if self.next >= self.starts.len() {
+                return self.finish(Termination::IterationsCompleted);
+            }
+            if self.total_evals - slice_start >= slice {
+                return StepStatus::Paused;
+            }
+            if problem.is_cancelled() {
+                return self.finish(Termination::Cancelled);
+            }
+            if self.total_evals >= problem.max_evals {
+                return self.finish(Termination::BudgetExhausted);
+            }
+            let x0 = &self.starts[self.next];
+            self.next += 1;
+            let budget = self
+                .cfg
+                .local_max_evals
+                .min(problem.max_evals.saturating_sub(self.total_evals));
+            let r = match self.cfg.local {
+                StartLocal::NelderMead => {
+                    NelderMead::default().minimize_from(problem, x0, budget, sink)
+                }
+                StartLocal::Powell => Powell::default().minimize_from(problem, x0, budget, sink),
+            };
+            self.total_evals += r.evals;
+            let is_better = self
+                .best
+                .as_ref()
+                .map(|b| better(r.value, b.value))
+                .unwrap_or(true);
+            if is_better {
+                self.best = Some(r);
+            }
+            if let Some(b) = &self.best {
+                if problem.target_reached(b.value) {
+                    return self.finish(Termination::TargetReached);
+                }
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    fn evals(&self) -> usize {
+        self.total_evals
+    }
+
+    fn best_value(&self) -> f64 {
+        self.best
+            .as_ref()
+            .map(|b| b.value)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn result(&self) -> MinimizeResult {
+        if let Some(result) = &self.finished {
+            return result.clone();
+        }
+        let mut result = self.best.clone().unwrap_or_else(|| {
+            MinimizeResult::new(
+                vec![f64::NAN; self.dim],
+                f64::INFINITY,
+                0,
+                Termination::BudgetExhausted,
+            )
+        });
+        result.evals = self.total_evals;
+        result.termination = Termination::BudgetExhausted;
+        result
+    }
+}
+
+impl SteppedMinimizer for MultiStart {
+    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
+        let finished = crate::reject_invalid(problem);
+        let mut rng = crate::rng_from_seed(seed);
+        // Generate every starting point as one batch up front. The RNG
+        // stream is exclusively consumed by start-point sampling, so the
+        // points are identical to drawing them lazily inside the loop —
+        // and having the whole batch available is the seam through which a
+        // batched objective backend can pre-screen starting points.
+        let starts: Vec<Vec<f64>> = if finished.is_none() {
+            (0..self.n_starts)
+                .map(|_| problem.bounds.sample(&mut rng))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Box::new(MultiStartStep {
+            cfg: self.clone(),
+            dim: problem.objective.dim(),
+            starts,
+            next: 0,
+            best: None,
+            total_evals: 0,
+            finished,
+        })
+    }
+}
+
 impl GlobalMinimizer for MultiStart {
     fn minimize(
         &self,
@@ -68,68 +215,7 @@ impl GlobalMinimizer for MultiStart {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
-        if let Some(invalid) = crate::reject_invalid(problem) {
-            return invalid;
-        }
-        let mut rng = crate::rng_from_seed(seed);
-        let mut best: Option<MinimizeResult> = None;
-        let mut total_evals = 0usize;
-        let mut termination = Termination::IterationsCompleted;
-
-        // Generate every starting point as one batch up front. The RNG
-        // stream is exclusively consumed by start-point sampling, so the
-        // points are identical to drawing them lazily inside the loop —
-        // and having the whole batch available is the seam through which a
-        // batched objective backend can pre-screen starting points.
-        let starts: Vec<Vec<f64>> = (0..self.n_starts)
-            .map(|_| problem.bounds.sample(&mut rng))
-            .collect();
-
-        for x0 in &starts {
-            if problem.is_cancelled() {
-                termination = Termination::Cancelled;
-                break;
-            }
-            if total_evals >= problem.max_evals {
-                termination = Termination::BudgetExhausted;
-                break;
-            }
-            let budget = self
-                .local_max_evals
-                .min(problem.max_evals.saturating_sub(total_evals));
-            let r = match self.local {
-                StartLocal::NelderMead => {
-                    NelderMead::default().minimize_from(problem, x0, budget, sink)
-                }
-                StartLocal::Powell => Powell::default().minimize_from(problem, x0, budget, sink),
-            };
-            total_evals += r.evals;
-            let is_better = best
-                .as_ref()
-                .map(|b| better(r.value, b.value))
-                .unwrap_or(true);
-            if is_better {
-                best = Some(r);
-            }
-            if let Some(b) = &best {
-                if problem.target_reached(b.value) {
-                    termination = Termination::TargetReached;
-                    break;
-                }
-            }
-        }
-
-        let mut result = best.unwrap_or_else(|| {
-            MinimizeResult::new(
-                vec![f64::NAN; problem.objective.dim()],
-                f64::INFINITY,
-                0,
-                Termination::IterationsCompleted,
-            )
-        });
-        result.evals = total_evals;
-        result.termination = termination;
-        result
+        crate::stepped::drive(self, problem, seed, sink)
     }
 
     fn backend_name(&self) -> &'static str {

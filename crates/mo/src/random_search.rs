@@ -6,10 +6,17 @@
 //! random testing". Having the baseline available lets the ablation bench
 //! quantify exactly that degeneration.
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::{Evaluator, EvaluatorState};
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
+use crate::stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 use crate::{GlobalMinimizer, Problem};
+use rand_chacha::ChaCha8Rng;
+
+/// Points sampled and evaluated per batch; also the stepped run's pause
+/// granularity (pausing anywhere else would re-chunk what a stateful
+/// objective observes).
+const CHUNK: usize = 64;
 
 /// Uniform random sampling over the bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,6 +38,108 @@ impl RandomSearch {
     }
 }
 
+/// The resumable state of one random-search run: the RNG stream, the
+/// sample counter and the evaluator bookkeeping.
+struct RandomSearchStep {
+    rng: ChaCha8Rng,
+    ev: EvaluatorState,
+    limit: usize,
+    done: usize,
+    finished: Option<MinimizeResult>,
+}
+
+impl RandomSearchStep {
+    fn finish(&mut self, ev: Evaluator<'_, '_>) -> StepStatus {
+        let termination = ev.termination(Termination::IterationsCompleted);
+        let (x, value) = ev.best();
+        self.finished = Some(MinimizeResult::new(x, value, ev.evals(), termination));
+        self.ev = ev.suspend();
+        StepStatus::Finished
+    }
+}
+
+impl MinimizerStep for RandomSearchStep {
+    fn step(
+        &mut self,
+        problem: &Problem<'_>,
+        slice: usize,
+        sink: &mut dyn SampleSink,
+    ) -> StepStatus {
+        if self.finished.is_some() {
+            return StepStatus::Finished;
+        }
+        let slice = slice.max(1);
+        // Hand the state to the evaluator by move; every exit path below
+        // suspends it back.
+        let state = std::mem::replace(&mut self.ev, EvaluatorState::fresh(0));
+        let mut ev = Evaluator::resume(problem, sink, state);
+        let slice_start = ev.evals();
+        // Sample and evaluate in batches. The RNG stream only feeds the
+        // sampler, so drawing a chunk of points up front consumes exactly
+        // the draws the scalar loop would have made for those points, and
+        // `eval_batch` stops at the same sample the scalar loop would —
+        // results are bit-identical to sampling and evaluating one by one,
+        // whether or not the run pauses between chunks.
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        loop {
+            if self.done >= self.limit {
+                return self.finish(ev);
+            }
+            if ev.evals() - slice_start >= slice {
+                self.ev = ev.suspend();
+                return StepStatus::Paused;
+            }
+            let k = CHUNK.min(self.limit - self.done);
+            xs.clear();
+            xs.extend((0..k).map(|_| problem.bounds.sample(&mut self.rng)));
+            let processed = ev.eval_batch(&xs, &mut values);
+            self.done += processed;
+            if processed < k || ev.should_stop() {
+                return self.finish(ev);
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    fn evals(&self) -> usize {
+        self.ev.evals()
+    }
+
+    fn best_value(&self) -> f64 {
+        self.ev.best_value()
+    }
+
+    fn result(&self) -> MinimizeResult {
+        if let Some(result) = &self.finished {
+            return result.clone();
+        }
+        let (x, value) = self.ev.best();
+        MinimizeResult::new(x, value, self.ev.evals(), Termination::BudgetExhausted)
+    }
+}
+
+impl SteppedMinimizer for RandomSearch {
+    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
+        let finished = crate::reject_invalid(problem);
+        let limit = if self.max_samples == 0 {
+            problem.max_evals
+        } else {
+            self.max_samples.min(problem.max_evals)
+        };
+        Box::new(RandomSearchStep {
+            rng: crate::rng_from_seed(seed),
+            ev: EvaluatorState::fresh(problem.objective.dim()),
+            limit,
+            done: 0,
+            finished,
+        })
+    }
+}
+
 impl GlobalMinimizer for RandomSearch {
     fn minimize(
         &self,
@@ -38,38 +147,7 @@ impl GlobalMinimizer for RandomSearch {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
-        if let Some(invalid) = crate::reject_invalid(problem) {
-            return invalid;
-        }
-        let mut rng = crate::rng_from_seed(seed);
-        let mut ev = Evaluator::new(problem, sink);
-        let limit = if self.max_samples == 0 {
-            problem.max_evals
-        } else {
-            self.max_samples.min(problem.max_evals)
-        };
-        // Sample and evaluate in batches. The RNG stream only feeds the
-        // sampler, so drawing a chunk of points up front consumes exactly
-        // the draws the scalar loop would have made for those points, and
-        // `eval_batch` stops at the same sample the scalar loop would —
-        // results are bit-identical to sampling and evaluating one by one.
-        const CHUNK: usize = 64;
-        let mut xs: Vec<Vec<f64>> = Vec::new();
-        let mut values: Vec<f64> = Vec::new();
-        let mut done = 0usize;
-        while done < limit {
-            let k = CHUNK.min(limit - done);
-            xs.clear();
-            xs.extend((0..k).map(|_| problem.bounds.sample(&mut rng)));
-            let processed = ev.eval_batch(&xs, &mut values);
-            done += processed;
-            if processed < k || ev.should_stop() {
-                break;
-            }
-        }
-        let termination = ev.termination(Termination::IterationsCompleted);
-        let (x, value) = ev.best();
-        MinimizeResult::new(x, value, ev.evals(), termination)
+        crate::stepped::drive(self, problem, seed, sink)
     }
 
     fn backend_name(&self) -> &'static str {

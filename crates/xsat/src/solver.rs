@@ -87,10 +87,14 @@ impl Solver {
         self.verdict_of(&wd, run.outcome)
     }
 
-    /// Solves the formula by racing several MO backends with first-hit
-    /// cancellation (portfolio mode). Fastest time-to-model, but which
+    /// Solves the formula by running several MO backends in portfolio
+    /// mode, under the configured
+    /// [`portfolio_policy`](AnalysisConfig::portfolio_policy): racing with
+    /// first-hit cancellation by default (fastest time-to-model, but which
     /// backend wins — and hence the `Unknown` residual — is
-    /// timing-dependent; a returned model is always re-verified.
+    /// timing-dependent), or deterministic bandit-scheduled budget
+    /// reallocation under `PortfolioPolicy::Adaptive`. A returned model is
+    /// always re-verified.
     pub fn solve_portfolio(&self, config: &AnalysisConfig, backends: &[BackendKind]) -> Verdict {
         let wd = self.weak_distance();
         let race = minimize_weak_distance_portfolio(&wd, config, backends);

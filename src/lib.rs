@@ -18,9 +18,10 @@
 //! * [`xsat`] ([`wdm_xsat`]) — quantifier-free floating-point
 //!   satisfiability on top of the same reduction;
 //! * [`engine`] ([`wdm_engine`]) — the parallel execution engine: backend
-//!   portfolios with first-hit cancellation, deterministic restart
-//!   sharding, and campaign mode batching whole benchmark suites over a
-//!   worker pool.
+//!   portfolios with first-hit cancellation (raced, or bandit-scheduled
+//!   under [`PortfolioPolicy::Adaptive`](wdm_core::PortfolioPolicy)),
+//!   deterministic restart sharding, and campaign mode batching whole
+//!   benchmark suites over a worker pool.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `crates/bench` binaries for the scripts that regenerate every table and

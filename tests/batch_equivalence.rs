@@ -9,6 +9,9 @@
 //! objective adapter, with the fpir interpreter's batch session underneath)
 //! and one layer down (the default `Objective::eval_batch`).
 
+mod common;
+
+use common::{bits, points_in_radius, scalar_reference, shaped, trace_bits};
 use proptest::prelude::*;
 use wdm::core::boundary::BoundaryWeakDistance;
 use wdm::core::weak_distance::{WeakDistance, WeakDistanceObjective};
@@ -18,43 +21,6 @@ use wdm::mo::{
     Bounds, CancelToken, DifferentialEvolution, FnObjective, GlobalMinimizer, Objective, Problem,
     RandomSearch, SamplingTrace,
 };
-
-/// A small family of deterministic 1-D objectives indexed by `kind`; the
-/// NaN and overflow cases keep the non-finite paths honest.
-fn shaped(kind: u8, x: f64) -> f64 {
-    match kind % 5 {
-        0 => (x - 3.0).abs(),
-        1 => x * x - 2.0 * x,
-        2 => (x * 1.0e160) * (x * 1.0e160), // overflows to inf away from 0
-        3 => {
-            if x.abs() < 0.5 {
-                f64::NAN
-            } else {
-                x.abs()
-            }
-        }
-        _ => (x * 0.7).sin() + 1.0,
-    }
-}
-
-/// The canonical scalar loop every backend follows.
-fn scalar_reference(
-    problem: &Problem<'_>,
-    xs: &[Vec<f64>],
-) -> (Vec<f64>, usize, (Vec<f64>, f64), SamplingTrace) {
-    let mut trace = SamplingTrace::new();
-    let mut ev = Evaluator::new(problem, &mut trace);
-    let mut values = Vec::new();
-    for x in xs {
-        values.push(ev.eval(x));
-        if ev.should_stop() {
-            break;
-        }
-    }
-    let evals = ev.evals();
-    let best = ev.best();
-    (values, evals, best, trace)
-}
 
 fn batched(
     problem: &Problem<'_>,
@@ -68,20 +34,6 @@ fn batched(
     let evals = ev.evals();
     let best = ev.best();
     (values, evals, best, trace)
-}
-
-fn bits(values: &[f64]) -> Vec<u64> {
-    values.iter().map(|v| v.to_bits()).collect()
-}
-
-/// A `SamplingTrace` rendered NaN-safe for equality: `Sample`'s derived
-/// `PartialEq` would treat bit-identical NaN values as unequal.
-fn trace_bits(trace: &SamplingTrace) -> Vec<(u64, Vec<u64>, u64)> {
-    trace
-        .samples()
-        .iter()
-        .map(|s| (s.index, bits(&s.x), s.value.to_bits()))
-        .collect()
 }
 
 proptest! {
@@ -112,13 +64,7 @@ proptest! {
 
         // A deterministic pseudo-random point set (some out of bounds, so
         // clamping is exercised).
-        let xs: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                let mix = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
-                vec![(unit * 4.0 - 2.0) * radius]
-            })
-            .collect();
+        let xs = points_in_radius(seed, n, radius);
 
         let (sv, se, sb, st) = scalar_reference(&problem, &xs);
         let (bv, be, bb, bt) = batched(&problem, &xs);

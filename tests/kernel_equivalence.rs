@@ -10,6 +10,9 @@
 //! kernel, so each matrix leg re-verifies the guarantee under a different
 //! scheduling.
 
+mod common;
+
+use common::{bits, module_suite, program, suite_points as points};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use wdm::core::boundary::{BoundaryMode, BoundaryWeakDistance};
@@ -18,54 +21,10 @@ use wdm::core::driver::{minimize_weak_distance, AnalysisConfig, BackendKind};
 use wdm::core::overflow::OverflowWeakDistance;
 use wdm::core::path::PathWeakDistance;
 use wdm::core::weak_distance::{WeakDistance, WeakDistanceObjective};
-use wdm::ir::{instrument, programs, Module, ModuleProgram};
+use wdm::ir::programs;
 use wdm::mo::evaluator::Evaluator;
 use wdm::mo::{Bounds, Problem, SamplingTrace};
-use wdm::runtime::{BranchId, Interval, KernelPolicy, OpId};
-
-/// The fpir module suite: divergent (fig2, fig1b, eq_zero) and
-/// straight-line (horner) programs, plus instrumented `W` modules whose
-/// entry calls the original program (exercising the kernel's per-lane
-/// call fallback).
-fn module_suite() -> Vec<(&'static str, Module, &'static str)> {
-    let fig2 = programs::fig2_program();
-    let entry = fig2.function_by_name("prog").unwrap();
-    let w_boundary = instrument::instrument_boundary(&fig2, entry);
-    let w_overflow = instrument::instrument_overflow(&fig2, entry, &BTreeSet::new());
-    vec![
-        ("fig2", programs::fig2_program(), "prog"),
-        ("fig1b", programs::fig1b_program(), "prog"),
-        ("eq_zero", programs::eq_zero_program(), "prog"),
-        ("horner24", programs::horner_program(24), "prog"),
-        ("W_boundary(fig2)", w_boundary, instrument::W_FUNCTION),
-        ("W_overflow(fig2)", w_overflow, instrument::W_FUNCTION),
-    ]
-}
-
-fn program(module: &Module, entry: &str) -> ModuleProgram {
-    ModuleProgram::new(module.clone(), entry)
-        .expect("entry exists")
-        .with_domain(vec![Interval::symmetric(1.0e6); {
-            let id = module.function_by_name(entry).unwrap();
-            module.function(id).num_params
-        }])
-}
-
-fn points(seed: u64, n: usize) -> Vec<Vec<f64>> {
-    (0..n)
-        .map(|i| {
-            let mix = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
-            // Mostly near the interesting region, occasionally far out.
-            let scale = if i % 7 == 0 { 1.0e4 } else { 8.0 };
-            vec![(unit * 2.0 - 1.0) * scale]
-        })
-        .collect()
-}
-
-fn bits(values: &[f64]) -> Vec<u64> {
-    values.iter().map(|v| v.to_bits()).collect()
-}
+use wdm::runtime::{BranchId, KernelPolicy, OpId};
 
 /// Evaluates `wd_for(policy)` over `xs` in one batch.
 fn batch_under<W: WeakDistance>(wd: &W, xs: &[Vec<f64>]) -> Vec<u64> {
@@ -274,10 +233,7 @@ fn driver_outcome_is_kernel_policy_invariant() {
 /// through every analysis family.)
 #[test]
 fn gsl_suite_campaign_is_kernel_policy_invariant() {
-    let threads = std::env::var("WDM_TEST_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+    let threads = common::matrix_threads();
     let run = |policy: KernelPolicy| {
         let config = AnalysisConfig::quick(7)
             .with_rounds(1)

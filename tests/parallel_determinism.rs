@@ -6,6 +6,9 @@
 //! variable adds that thread count to the ones checked here, so both legs
 //! exercise the exact comparison from different schedulings.
 
+mod common;
+
+use common::thread_counts;
 use proptest::prelude::*;
 use wdm::core::boundary::BoundaryAnalysis;
 use wdm::core::driver::{derive_round_seed, minimize_weak_distance, AnalysisConfig};
@@ -13,22 +16,6 @@ use wdm::core::weak_distance::FnWeakDistance;
 use wdm::engine::gsl_suite;
 use wdm::gsl::toy::Fig2Program;
 use wdm::runtime::Interval;
-
-/// Thread counts under test: 1, 2, 8 plus the CI matrix's
-/// `WDM_TEST_THREADS`.
-fn thread_counts() -> Vec<usize> {
-    let mut counts = vec![1, 2, 8];
-    if let Some(extra) = std::env::var("WDM_TEST_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        if !counts.contains(&extra) {
-            counts.push(extra);
-        }
-    }
-    counts
-}
 
 #[test]
 fn sharded_outcome_is_identical_at_thread_counts_1_2_8() {
