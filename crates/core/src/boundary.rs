@@ -6,7 +6,9 @@
 //! executed branch, so `w` is zero exactly when some executed branch sits on
 //! its boundary.
 
-use crate::driver::{minimize_weak_distance, AnalysisConfig, MinimizationRun, Outcome};
+use crate::driver::{
+    minimize_weak_distance, statically_pruned_run, AnalysisConfig, MinimizationRun, Outcome,
+};
 use crate::weak_distance::WeakDistance;
 use fp_runtime::{
     Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
@@ -196,12 +198,34 @@ impl<P: Analyzable> BoundaryAnalysis<P> {
 
     /// Finds a boundary value for one specific condition.
     pub fn find_condition(&self, site: BranchId, config: &AnalysisConfig) -> Outcome {
+        self.find_condition_run(site, config).outcome
+    }
+
+    /// Like [`BoundaryAnalysis::find_condition`] but returns the full run,
+    /// so callers can tell a statically pruned target (zero evaluations,
+    /// [`MinimizationRun::statically_pruned`]) from a budget-exhausted
+    /// miss.
+    ///
+    /// When the program's static analysis
+    /// ([`Analyzable::branch_boundary_reachability`]) *proves* that the
+    /// site's boundary `lhs == rhs` cannot hold on any domain input — the
+    /// site never executes, or the residual interval excludes zero — no
+    /// minimizer runs at all: the weak distance is bounded away from zero,
+    /// so the search could only ever burn its budget.
+    pub fn find_condition_run(&self, site: BranchId, config: &AnalysisConfig) -> MinimizationRun {
+        if self
+            .program
+            .branch_boundary_reachability(site)
+            .is_unreachable()
+        {
+            return statically_pruned_run(UNREACHED_PENALTY);
+        }
         let wd = BoundaryWeakDistance {
             program: &self.program,
             mode: BoundaryMode::Single(site),
             kernel_policy: config.kernel_policy,
         };
-        minimize_weak_distance(&wd, config).outcome
+        minimize_weak_distance(&wd, config)
     }
 
     /// Runs [`BoundaryAnalysis::find_condition`] for every declared branch
@@ -377,6 +401,51 @@ mod tests {
         assert_eq!(wd.eval(&[2.0]), 0.0);
         assert_eq!(wd.eval(&[0.5]), 1.0);
         assert_eq!(wd.eval(&[17.3]), 1.0);
+    }
+
+    /// `|x| + 1 < 0` can never hold (and never sit on its boundary) for
+    /// any input: the interval analysis proves it, and the targeted
+    /// boundary search is pruned before a single evaluation. The other
+    /// branch's boundary (`x == 0`) stays a normal, solvable search.
+    #[test]
+    fn provably_unreachable_boundary_is_pruned_at_zero_cost() {
+        use fpir::ir::{BinOp, UnOp};
+        let mut mb = fpir::ModuleBuilder::new();
+        let mut f = mb.function("guarded", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let zero = f.constant(0.0);
+        let a = f.un(UnOp::Abs, x, None);
+        let y = f.bin(BinOp::Add, a, one, None);
+        let dead = f.new_block();
+        let live = f.new_block();
+        f.cond_br(Some(0), y, fp_runtime::Cmp::Lt, zero, dead, live);
+        f.switch_to(dead);
+        f.ret(Some(y));
+        f.switch_to(live);
+        let neg = f.new_block();
+        let pos = f.new_block();
+        f.cond_br(Some(1), x, fp_runtime::Cmp::Lt, zero, neg, pos);
+        f.switch_to(neg);
+        f.ret(Some(x));
+        f.switch_to(pos);
+        f.ret(Some(y));
+        f.finish();
+        let program = fpir::ModuleProgram::new(mb.build(), "guarded")
+            .expect("entry exists")
+            .with_domain(vec![fp_runtime::Interval::symmetric(1.0e3)]);
+        let analysis = BoundaryAnalysis::new(program);
+        let config = AnalysisConfig::quick(11);
+
+        let pruned = analysis.find_condition_run(BranchId(0), &config);
+        assert!(pruned.statically_pruned());
+        assert_eq!(pruned.outcome.evals(), 0, "pruned target costs nothing");
+        assert!(!pruned.outcome.is_found());
+
+        let solved = analysis.find_condition_run(BranchId(1), &config);
+        assert!(!solved.statically_pruned());
+        assert!(solved.outcome.is_found(), "x == 0 is a real boundary");
+        assert!(solved.outcome.evals() > 0);
     }
 
     #[test]

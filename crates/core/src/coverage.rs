@@ -119,6 +119,11 @@ pub struct CoverageReport {
     pub covered: BTreeSet<(BranchId, bool)>,
     /// Total number of `(branch, direction)` pairs declared by the program.
     pub total_pairs: usize,
+    /// `(branch, direction)` pairs the program's static analysis proved
+    /// unreachable over the search domain: the campaign never targets them
+    /// and stops once everything else is covered, instead of burning its
+    /// retry budget on proofs of impossibility.
+    pub statically_pruned: usize,
     /// Minimization rounds run.
     pub rounds: usize,
 }
@@ -154,10 +159,24 @@ impl<P: Analyzable> CoverageAnalysis<P> {
             self.absorb(seed, &mut covered);
             suite.push(seed.clone());
         }
-        let total_pairs = self.program.branch_sites().len() * 2;
+        let sites = self.program.branch_sites();
+        let total_pairs = sites.len() * 2;
+        // Pairs whose direction is provably never taken on any domain
+        // input: reaching them is impossible, so they count as "done" for
+        // the termination condition (the coverage fraction still reports
+        // them as uncovered — they are, and provably stay so).
+        let pruned: BTreeSet<(BranchId, bool)> = sites
+            .iter()
+            .flat_map(|s| [(s.id, true), (s.id, false)])
+            .filter(|&(site, dir)| {
+                self.program
+                    .branch_side_reachability(site, dir)
+                    .is_unreachable()
+            })
+            .collect();
         let mut rounds = 0usize;
         let max_rounds = total_pairs + config.rounds;
-        while covered.len() < total_pairs && rounds < max_rounds {
+        while covered.union(&pruned).count() < total_pairs && rounds < max_rounds {
             rounds += 1;
             let wd = CoverageWeakDistance {
                 program: &self.program,
@@ -186,6 +205,7 @@ impl<P: Analyzable> CoverageAnalysis<P> {
             suite,
             covered,
             total_pairs,
+            statically_pruned: pruned.len(),
             rounds,
         }
     }
@@ -243,6 +263,41 @@ mod tests {
             report.covered.len(),
             report.total_pairs
         );
+    }
+
+    /// The then-side of `|x| + 1 < 0` is provably uncoverable: the
+    /// campaign's termination condition treats it as done instead of
+    /// burning the retry budget on it round after round.
+    #[test]
+    fn provably_uncoverable_pairs_do_not_burn_rounds() {
+        use fpir::ir::{BinOp, UnOp};
+        let mut mb = fpir::ModuleBuilder::new();
+        let mut f = mb.function("guarded", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let zero = f.constant(0.0);
+        let a = f.un(UnOp::Abs, x, None);
+        let y = f.bin(BinOp::Add, a, one, None);
+        let dead = f.new_block();
+        let live = f.new_block();
+        f.cond_br(Some(0), y, fp_runtime::Cmp::Lt, zero, dead, live);
+        f.switch_to(dead);
+        f.ret(Some(y));
+        f.switch_to(live);
+        f.ret(Some(x));
+        f.finish();
+        let program = fpir::ModuleProgram::new(mb.build(), "guarded")
+            .expect("entry exists")
+            .with_domain(vec![fp_runtime::Interval::symmetric(1.0e3)]);
+        let analysis = CoverageAnalysis::new(program);
+        let config = AnalysisConfig::quick(4).with_rounds(1).with_max_evals(2_000);
+        let report = analysis.run(&[vec![1.0]], &config);
+        assert_eq!(report.total_pairs, 2);
+        assert_eq!(report.statically_pruned, 1);
+        // The seed already covers the only coverable pair, so the campaign
+        // terminates without a single minimization round.
+        assert!(report.covered.contains(&(BranchId(0), false)));
+        assert_eq!(report.rounds, 0, "nothing left to chase");
     }
 
     #[test]

@@ -316,6 +316,39 @@ pub struct MinimizationRun {
     pub trace: SamplingTrace,
 }
 
+impl MinimizationRun {
+    /// Returns `true` when this run was pruned by static analysis
+    /// ([`statically_pruned_run`]) instead of being minimized.
+    pub fn statically_pruned(&self) -> bool {
+        self.best.termination == wdm_mo::Termination::StaticallyUnreachable
+    }
+}
+
+/// The zero-cost run reported when static analysis proved a target
+/// unreachable over the search domain: no minimizer runs, no evaluation is
+/// charged, and the best result carries
+/// [`Termination::StaticallyUnreachable`](wdm_mo::Termination::StaticallyUnreachable)
+/// so reports can tell a pruned target from a budget-exhausted miss.
+/// Pruning only ever fires on a proof (the interval analysis classifies a
+/// target `Unreachable` only when no domain point can reach it), so
+/// replacing the minimization with this constant never loses a solution.
+pub fn statically_pruned_run(best_value: f64) -> MinimizationRun {
+    MinimizationRun {
+        outcome: Outcome::NotFound {
+            best_value,
+            best_input: Vec::new(),
+            evals: 0,
+        },
+        best: MinimizeResult::new(
+            Vec::new(),
+            best_value,
+            0,
+            wdm_mo::Termination::StaticallyUnreachable,
+        ),
+        trace: SamplingTrace::with_stride(1),
+    }
+}
+
 /// Derives the seed of round (shard) `round` from the root seed by a
 /// SplitMix64-style finalizer (Stafford's Mix13 constants).
 ///

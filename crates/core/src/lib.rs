@@ -54,7 +54,7 @@ pub mod weak_distance;
 pub use adaptive::{minimize_weak_distance_adaptive, SteppedAnalysis};
 pub use driver::{
     derive_round_seed, minimize_weak_distance, minimize_weak_distance_cancellable,
-    minimize_weak_distance_portfolio, AnalysisConfig, BackendKind, Outcome, PortfolioPolicy,
-    PortfolioRun,
+    minimize_weak_distance_portfolio, statically_pruned_run, AnalysisConfig, BackendKind,
+    MinimizationRun, Outcome, PortfolioPolicy, PortfolioRun,
 };
 pub use weak_distance::WeakDistance;

@@ -152,6 +152,10 @@ pub struct OverflowReport {
     pub rounds: usize,
     /// Total objective evaluations spent.
     pub evals: usize,
+    /// Operation sites the program's static analysis proved can never
+    /// execute on any domain input: Algorithm 3 pre-retires them into `L`
+    /// at zero cost instead of spending a round learning nothing.
+    pub statically_pruned: usize,
 }
 
 impl OverflowReport {
@@ -197,6 +201,17 @@ impl<P: Analyzable> OverflowDetector<P> {
         let sites = self.program.op_sites();
         let all_ids: Vec<OpId> = sites.iter().map(|s| s.id).collect();
         let mut handled: BTreeSet<OpId> = BTreeSet::new();
+        // Sites that provably never execute on any domain input cannot
+        // overflow; retire them into `L` up front (Algorithm 3 would
+        // otherwise spend a full minimization round per such site only to
+        // watch its weak distance sit at a constant).
+        let mut statically_pruned = 0usize;
+        for &id in &all_ids {
+            if self.program.op_site_reachability(id).is_unreachable() {
+                handled.insert(id);
+                statically_pruned += 1;
+            }
+        }
         let mut witnesses: BTreeMap<OpId, Vec<f64>> = BTreeMap::new();
         let mut inputs: Vec<Vec<f64>> = Vec::new();
         let mut rounds = 0usize;
@@ -267,6 +282,7 @@ impl<P: Analyzable> OverflowDetector<P> {
             inputs,
             rounds,
             evals,
+            statically_pruned,
         }
     }
 
@@ -360,6 +376,49 @@ mod tests {
         assert_eq!(report.num_ops(), 1);
         assert_eq!(report.num_overflows(), 0);
         assert_eq!(report.missed().len(), 1);
+    }
+
+    /// An operation guarded by a provably untakeable branch is pre-retired
+    /// into `L` by static analysis: Algorithm 3 never spends a round on it,
+    /// and the report records the prune.
+    #[test]
+    fn provably_unreachable_op_site_is_preretired() {
+        use fpir::ir::{BinOp, UnOp};
+        let mut mb = fpir::ModuleBuilder::new();
+        let mut f = mb.function("guarded", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let zero = f.constant(0.0);
+        let a = f.un(UnOp::Abs, x, None);
+        let y = f.bin(BinOp::Add, a, one, None);
+        let dead = f.new_block();
+        let live = f.new_block();
+        f.cond_br(Some(0), y, Cmp::Lt, zero, dead, live);
+        f.switch_to(dead);
+        // Op site 0 only executes on the untakeable side.
+        let d = f.bin(BinOp::Mul, y, y, Some(0));
+        f.ret(Some(d));
+        f.switch_to(live);
+        // Op site 1 executes on every input and overflows for |x| > 0.8.
+        let big = f.constant(1.0e308);
+        let l = f.bin(BinOp::Mul, y, big, Some(1));
+        f.ret(Some(l));
+        f.finish();
+        let program = fpir::ModuleProgram::new(mb.build(), "guarded")
+            .expect("entry exists")
+            .with_domain(vec![fp_runtime::Interval::symmetric(1.0e4)]);
+        let report = OverflowDetector::new(program)
+            .run(&AnalysisConfig::quick(8).with_rounds(1).with_max_evals(5_000));
+        assert_eq!(report.num_ops(), 2);
+        assert_eq!(report.statically_pruned, 1, "site 0 is pre-retired");
+        assert!(
+            !report.operations[0].overflowed(),
+            "the pruned site has no witness"
+        );
+        assert!(
+            report.operations[1].overflowed(),
+            "y * 1e308 overflows for |x| > 0.8"
+        );
     }
 
     #[test]

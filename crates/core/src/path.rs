@@ -6,7 +6,9 @@
 //! for required branches that were never reached. `w = 0` iff the input
 //! drives every required branch in the required direction.
 
-use crate::driver::{minimize_weak_distance, AnalysisConfig, MinimizationRun, Outcome};
+use crate::driver::{
+    minimize_weak_distance, statically_pruned_run, AnalysisConfig, MinimizationRun, Outcome,
+};
 use crate::weak_distance::WeakDistance;
 use fp_runtime::{
     Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
@@ -139,7 +141,21 @@ impl<P: Analyzable> PathAnalysis<P> {
     }
 
     /// Like [`PathAnalysis::reach`], returning the full minimization run.
+    ///
+    /// When static analysis
+    /// ([`Analyzable::branch_side_reachability`]) proves that some required
+    /// `(site, direction)` of `path` can never be taken on any domain
+    /// input, the whole path is infeasible and the run is pruned without
+    /// spending a single evaluation
+    /// ([`MinimizationRun::statically_pruned`]).
     pub fn reach_run(&self, path: &Path, config: &AnalysisConfig) -> MinimizationRun {
+        if path.iter().any(|&(site, dir)| {
+            self.program
+                .branch_side_reachability(site, dir)
+                .is_unreachable()
+        }) {
+            return statically_pruned_run(UNREACHED_PENALTY);
+        }
         let wd = PathWeakDistance {
             program: &self.program,
             path: path.clone(),
@@ -229,6 +245,43 @@ mod tests {
         let path = vec![(BranchId(0), true), (BranchId(0), false)];
         let outcome = analysis.reach(&path, &AnalysisConfig::quick(4).with_rounds(2).with_max_evals(4_000));
         assert!(!outcome.is_found());
+    }
+
+    /// Requiring the then-side of `|x| + 1 < 0` is provably infeasible on
+    /// every domain input: the run is pruned before any evaluation, while
+    /// the feasible else-side still minimizes normally.
+    #[test]
+    fn provably_untakeable_branch_side_prunes_the_path() {
+        use fpir::ir::{BinOp, UnOp};
+        let mut mb = fpir::ModuleBuilder::new();
+        let mut f = mb.function("guarded", 1);
+        let x = f.param(0);
+        let one = f.constant(1.0);
+        let zero = f.constant(0.0);
+        let a = f.un(UnOp::Abs, x, None);
+        let y = f.bin(BinOp::Add, a, one, None);
+        let dead = f.new_block();
+        let live = f.new_block();
+        f.cond_br(Some(0), y, fp_runtime::Cmp::Lt, zero, dead, live);
+        f.switch_to(dead);
+        f.ret(Some(y));
+        f.switch_to(live);
+        f.ret(Some(x));
+        f.finish();
+        let program = fpir::ModuleProgram::new(mb.build(), "guarded")
+            .expect("entry exists")
+            .with_domain(vec![fp_runtime::Interval::symmetric(1.0e3)]);
+        let analysis = PathAnalysis::new(program);
+        let config = AnalysisConfig::quick(6).with_rounds(1).with_max_evals(2_000);
+
+        let pruned = analysis.reach_run(&vec![(BranchId(0), true)], &config);
+        assert!(pruned.statically_pruned());
+        assert_eq!(pruned.outcome.evals(), 0);
+        assert!(!pruned.outcome.is_found());
+
+        let feasible = analysis.reach_run(&vec![(BranchId(0), false)], &config);
+        assert!(!feasible.statically_pruned());
+        assert!(feasible.outcome.is_found(), "else side is always taken");
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct JobResult {
     pub best_value: f64,
     /// Objective evaluations spent.
     pub evals: usize,
+    /// How many targets static analysis proved unreachable over the search
+    /// domain and pruned before any minimizer ran (each charged zero
+    /// evaluations).
+    pub static_pruned: usize,
 }
 
 /// One finished job: the deterministic result plus its (nondeterministic)
@@ -216,7 +220,9 @@ where
 {
     CampaignJob::new(name.clone(), move |config| {
         let analysis = BoundaryAnalysis::new(program);
-        let (found, best_value, evals) = match analysis.find_condition(site, config) {
+        let run = analysis.find_condition_run(site, config);
+        let static_pruned = run.statically_pruned() as usize;
+        let (found, best_value, evals) = match run.outcome {
             Outcome::Found { evals, .. } => (1, 0.0, evals),
             Outcome::NotFound {
                 best_value, evals, ..
@@ -230,6 +236,7 @@ where
             total: 1,
             best_value,
             evals,
+            static_pruned,
         }
     })
 }
@@ -255,6 +262,7 @@ where
             total: 1,
             best_value,
             evals,
+            static_pruned: 0,
         }
     })
 }
@@ -275,6 +283,7 @@ where
             total: report.num_ops(),
             best_value: 0.0,
             evals: report.evals,
+            static_pruned: report.statically_pruned,
         }
     })
 }
@@ -310,6 +319,7 @@ where
             total: 1,
             best_value,
             evals,
+            static_pruned: 0,
         }
     })
 }

@@ -1,0 +1,342 @@
+//! Per-function control-flow graph and per-module call graph.
+//!
+//! The CFG caches exactly the derived structure every other pass needs:
+//! successor and predecessor lists, the set of blocks reachable from the
+//! entry, a reverse-postorder numbering for fast forward dataflow, and a
+//! loop classification (which blocks sit on a CFG cycle). The call graph
+//! adds recursion detection via Tarjan-style SCC discovery so the kernel
+//! eligibility pass can tell inlinable lockstep calls from calls that must
+//! fall back to the scalar interpreter.
+
+use crate::ir::{BlockId, FuncId, Function, Module, Terminator};
+
+/// Control-flow graph of one function, with the derived orderings every
+/// analysis pass shares.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists, indexed by block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists, indexed by block (entry-reachable edges only).
+    pub preds: Vec<Vec<BlockId>>,
+    /// `reachable[b]` is true if `bb b` is reachable from the entry block.
+    pub reachable: Vec<bool>,
+    /// Reachable blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` is the position of `bb b` in [`Cfg::rpo`]
+    /// (`usize::MAX` for unreachable blocks).
+    pub rpo_index: Vec<usize>,
+    /// `in_cycle[b]` is true if `bb b` lies on a CFG cycle (it belongs to a
+    /// non-trivial strongly connected component or has a self edge).
+    pub in_cycle: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `function`.
+    pub fn new(function: &Function) -> Self {
+        let n = function.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        for (b, block) in function.blocks.iter().enumerate() {
+            succs[b] = block
+                .term
+                .successors_iter()
+                .filter(|s| s.0 < n)
+                .collect::<Vec<_>>();
+        }
+
+        // Depth-first search from the entry for reachability and postorder.
+        let mut reachable = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        if n > 0 {
+            // Iterative DFS; the second stack slot tracks the next successor
+            // to visit so blocks are emitted in true postorder.
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            reachable[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if *next < succs[b].len() {
+                    let s = succs[b][*next].0;
+                    *next += 1;
+                    if !reachable[s] {
+                        reachable[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(BlockId(b));
+                    stack.pop();
+                }
+            }
+        }
+        let mut rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        debug_assert!(rpo.first().map(|b| b.0) == if n > 0 { Some(0) } else { None });
+        if n > 0 && rpo.first() != Some(&BlockId(0)) {
+            // Defensive: the entry always heads the ordering.
+            rpo.retain(|b| b.0 != 0);
+            rpo.insert(0, BlockId(0));
+        }
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+
+        let mut preds = vec![Vec::new(); n];
+        for b in 0..n {
+            if !reachable[b] {
+                continue;
+            }
+            for &s in &succs[b] {
+                preds[s.0].push(BlockId(b));
+            }
+        }
+
+        let in_cycle = cycle_blocks(&succs, &reachable);
+
+        Cfg {
+            succs,
+            preds,
+            reachable,
+            rpo,
+            rpo_index,
+            in_cycle,
+        }
+    }
+
+    /// Number of blocks in the function (reachable or not).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of blocks reachable from the entry.
+    pub fn num_reachable(&self) -> usize {
+        self.rpo.len()
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.get(b.0).copied().unwrap_or(false)
+    }
+}
+
+/// Marks blocks on a CFG cycle using an iterative Tarjan SCC pass restricted
+/// to reachable blocks: members of non-trivial SCCs, plus self loops.
+fn cycle_blocks(succs: &[Vec<BlockId>], reachable: &[bool]) -> Vec<bool> {
+    let n = succs.len();
+    let mut in_cycle = vec![false; n];
+    for scc in sccs(n, reachable, |b| succs[b].iter().map(|s| s.0)) {
+        if scc.len() > 1 {
+            for b in scc {
+                in_cycle[b] = true;
+            }
+        } else {
+            let b = scc[0];
+            if succs[b].iter().any(|s| s.0 == b) {
+                in_cycle[b] = true;
+            }
+        }
+    }
+    in_cycle
+}
+
+/// Iterative Tarjan SCC over nodes `0..n` with `enabled` filtering, generic
+/// over the successor function so the CFG and call graph share it.
+fn sccs<I, F>(n: usize, enabled: &[bool], succ: F) -> Vec<Vec<usize>>
+where
+    I: Iterator<Item = usize>,
+    F: Fn(usize) -> I,
+{
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    // Explicit DFS frames: (node, successors already consumed).
+    for root in 0..n {
+        if !enabled[root] || index[root] != UNSEEN {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let children: Vec<usize> = succ(root).filter(|&s| s < n && enabled[s]).collect();
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, children, 0));
+        while let Some(&mut (v, ref children, ref mut next)) = frames.last_mut() {
+            if *next < children.len() {
+                let w = children[*next];
+                *next += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let grand: Vec<usize> = succ(w).filter(|&s| s < n && enabled[s]).collect();
+                    frames.push((w, grand, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (p, _, _)) = frames.last_mut() {
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-module call graph with recursion classification.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Deduplicated callee lists, indexed by caller. Out-of-range callee ids
+    /// (rejected by [`crate::validate::validate`]) are kept so diagnostics
+    /// can report them, but clamped out of the SCC walk.
+    pub callees: Vec<Vec<FuncId>>,
+    /// `recursive[f]` is true if `@f` can reach itself through calls
+    /// (directly or mutually).
+    pub recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module`, scanning every block of every
+    /// function (unreachable blocks included: a call that validation would
+    /// reject should still show up in diagnostics).
+    pub fn new(module: &Module) -> Self {
+        let n = module.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (f, function) in module.functions.iter().enumerate() {
+            for block in &function.blocks {
+                for inst in &block.insts {
+                    if let crate::ir::Inst::Call { func, .. } = inst {
+                        if !callees[f].contains(func) {
+                            callees[f].push(*func);
+                        }
+                    }
+                }
+            }
+        }
+        let enabled = vec![true; n];
+        let mut recursive = vec![false; n];
+        for scc in sccs(n, &enabled, |f| {
+            callees[f].iter().map(|c| c.0).filter(move |&c| c < n)
+        }) {
+            if scc.len() > 1 {
+                for f in scc {
+                    recursive[f] = true;
+                }
+            } else if callees[scc[0]].contains(&FuncId(scc[0])) {
+                recursive[scc[0]] = true;
+            }
+        }
+        CallGraph { callees, recursive }
+    }
+}
+
+/// Classifies which terminator kind ends each reachable block — used by the
+/// strict verifier to phrase diagnostics.
+pub fn is_branch(term: &Terminator) -> bool {
+    matches!(term, Terminator::CondBr { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use fp_runtime::Cmp;
+
+    fn diamond() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("d", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        let x = f.param(0);
+        let z = f.constant(0.0);
+        f.cond_br(None, x, Cmp::Lt, z, t, e);
+        f.switch_to(t);
+        f.jump(j);
+        f.switch_to(e);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(Some(x));
+        f.finish();
+        mb.build()
+    }
+
+    #[test]
+    fn diamond_cfg_shape() {
+        let m = diamond();
+        let cfg = Cfg::new(m.function(FuncId(0)));
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.num_reachable(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(cfg.in_cycle.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn loops_and_unreachable_blocks_are_classified() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("l", 1);
+        let body = f.new_block();
+        let exit = f.new_block();
+        let dead = f.new_block();
+        let x = f.param(0);
+        f.jump(body);
+        f.switch_to(body);
+        let z = f.constant(0.0);
+        f.cond_br(None, x, Cmp::Lt, z, body, exit);
+        f.switch_to(exit);
+        f.ret(Some(x));
+        f.switch_to(dead);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        let cfg = Cfg::new(m.function(FuncId(0)));
+        assert!(cfg.is_reachable(BlockId(1)));
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.in_cycle[1], "loop body is on a cycle");
+        assert!(!cfg.in_cycle[0]);
+        assert!(!cfg.in_cycle[2]);
+    }
+
+    #[test]
+    fn call_graph_detects_mutual_recursion() {
+        let mut mb = ModuleBuilder::new();
+        let mut a = mb.function("a", 1);
+        let x = a.param(0);
+        let r = a.call(FuncId(1), vec![x]);
+        a.ret(Some(r));
+        a.finish();
+        let mut b = mb.function("b", 1);
+        let x = b.param(0);
+        let r = b.call(FuncId(0), vec![x]);
+        b.ret(Some(r));
+        b.finish();
+        let mut c = mb.function("c", 1);
+        let x = c.param(0);
+        let r = c.call(FuncId(0), vec![x]);
+        c.ret(Some(r));
+        c.finish();
+        let m = mb.build();
+        let cg = CallGraph::new(&m);
+        assert!(cg.recursive[0] && cg.recursive[1]);
+        assert!(!cg.recursive[2], "calling a recursive fn is not recursion");
+    }
+}

@@ -1,0 +1,161 @@
+//! Structural wave-safety: which functions the lanewise SoA kernel can run
+//! in lockstep, calls included.
+//!
+//! A function is *wave-safe* when every call the wave can reach executes a
+//! callee that can itself run as a nested lockstep frame:
+//!
+//! * the function is not (mutually) recursive — lockstep frames have a
+//!   statically bounded stack;
+//! * every call in a reachable block names an existing function with
+//!   matching arity, and that callee is transitively wave-safe.
+//!
+//! Divergent branches and loops are allowed — the kernel already manages
+//! divergence by evicting minority lanes — so this strictly widens the old
+//! `Auto` heuristic ("entry is call-free"): instrumented `W` modules, whose
+//! entry wraps the original program in a call, become kernel-eligible.
+
+use super::cfg::{CallGraph, Cfg};
+use crate::ir::{FuncId, Inst, Module};
+
+/// Per-function structural summary used for eligibility decisions and the
+/// `analyze` bench report.
+#[derive(Debug, Clone)]
+pub struct FunctionEligibility {
+    /// Function name.
+    pub name: String,
+    /// Total number of blocks.
+    pub total_blocks: usize,
+    /// Blocks reachable from the function entry.
+    pub reachable_blocks: usize,
+    /// Reachable blocks not on any CFG cycle (straight-line or
+    /// reconvergent-diamond regions, where the wave reconverges).
+    pub convergent_blocks: usize,
+    /// True if the function is on a call-graph cycle.
+    pub recursive: bool,
+    /// True if the function can run fully lockstep (see module docs).
+    pub wave_safe: bool,
+}
+
+/// Computes `wave_safe` for every function of `module`.
+pub fn wave_safety(module: &Module, cfgs: &[Cfg], call_graph: &CallGraph) -> Vec<bool> {
+    let n = module.functions.len();
+    let mut memo: Vec<Option<bool>> = vec![None; n];
+    for f in 0..n {
+        decide(module, cfgs, call_graph, FuncId(f), &mut memo);
+    }
+    memo.into_iter().map(|m| m.unwrap_or(false)).collect()
+}
+
+fn decide(
+    module: &Module,
+    cfgs: &[Cfg],
+    call_graph: &CallGraph,
+    f: FuncId,
+    memo: &mut Vec<Option<bool>>,
+) -> bool {
+    if let Some(v) = memo[f.0] {
+        return v;
+    }
+    if call_graph.recursive[f.0] {
+        memo[f.0] = Some(false);
+        return false;
+    }
+    // Non-recursive functions form a DAG, so this recursion terminates; seed
+    // the memo pessimistically anyway so a rogue cycle cannot loop.
+    memo[f.0] = Some(false);
+    let function = module.function(f);
+    let cfg = &cfgs[f.0];
+    let mut safe = true;
+    'blocks: for &b in &cfg.rpo {
+        for inst in &function.blocks[b.0].insts {
+            if let Inst::Call { func, args, .. } = inst {
+                if func.0 >= module.functions.len()
+                    || args.len() != module.function(*func).num_params
+                    || !decide(module, cfgs, call_graph, *func, memo)
+                {
+                    safe = false;
+                    break 'blocks;
+                }
+            }
+        }
+    }
+    memo[f.0] = Some(safe);
+    safe
+}
+
+/// Builds the per-function eligibility table of `module`.
+pub fn function_eligibility(
+    module: &Module,
+    cfgs: &[Cfg],
+    call_graph: &CallGraph,
+    wave_safe: &[bool],
+) -> Vec<FunctionEligibility> {
+    module
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(f, function)| {
+            let cfg = &cfgs[f];
+            FunctionEligibility {
+                name: function.name.clone(),
+                total_blocks: cfg.num_blocks(),
+                reachable_blocks: cfg.num_reachable(),
+                convergent_blocks: cfg.rpo.iter().filter(|b| !cfg.in_cycle[b.0]).count(),
+                recursive: call_graph.recursive[f],
+                wave_safe: wave_safe[f],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ModuleAnalysis;
+    use crate::builder::ModuleBuilder;
+    use crate::instrument;
+    use crate::programs;
+
+    #[test]
+    fn instrumented_w_modules_are_wave_safe() {
+        let fig2 = programs::fig2_program();
+        let entry = fig2.function_by_name("prog").unwrap();
+        let w = instrument::instrument_boundary(&fig2, entry);
+        let ma = ModuleAnalysis::new(&w);
+        let w_entry = w.function_by_name(instrument::W_FUNCTION).unwrap();
+        assert!(
+            ma.wave_safe[w_entry.0],
+            "W driver calls a non-recursive program, so it runs lockstep"
+        );
+    }
+
+    #[test]
+    fn recursion_and_bad_arity_disqualify() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("self", 1);
+        let x = f.param(0);
+        let r = f.call(FuncId(0), vec![x]);
+        f.ret(Some(r));
+        f.finish();
+        let mut g = mb.function("caller", 1);
+        let x = g.param(0);
+        let r = g.call(FuncId(0), vec![x]);
+        g.ret(Some(r));
+        g.finish();
+        let mut h = mb.function("bad_arity", 1);
+        let x = h.param(0);
+        let r = h.call(FuncId(3), vec![x, x]); // leaf takes 1 param
+        h.ret(Some(r));
+        h.finish();
+        let mut leaf = mb.function("leaf", 1);
+        let x = leaf.param(0);
+        leaf.ret(Some(x));
+        leaf.finish();
+        let m = mb.build();
+        let ma = ModuleAnalysis::new(&m);
+        assert!(!ma.wave_safe[0], "direct recursion");
+        assert!(!ma.wave_safe[1], "calls a recursive function");
+        assert!(!ma.wave_safe[2], "arity mismatch");
+        assert!(ma.wave_safe[3]);
+    }
+}

@@ -20,12 +20,14 @@
 //! evaluation boundary. A cancelled execution returns
 //! [`ExecError::Cancelled`].
 
+use crate::analysis::StaticInfo;
 use crate::ir::{BlockId, FuncId, Inst, Module, Terminator};
 use fp_runtime::{
-    Analyzable, BatchExecutor, BranchSite, CancelToken, Ctx, Interval, KernelPolicy, Observer,
-    OpSite,
+    Analyzable, BatchExecutor, BranchId, BranchSite, CancelToken, Ctx, Interval, KernelPolicy,
+    Observer, OpId, OpSite, Reachability,
 };
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// How often (in executed instructions) the interpreter polls its
 /// [`CancelToken`]. Polling is a relaxed atomic load; every 256
@@ -423,6 +425,11 @@ pub struct ModuleProgram {
     name: String,
     domain: Vec<Interval>,
     interpreter: Interpreter,
+    /// Lazily computed static analysis (CFGs, liveness layouts, wave
+    /// safety, interval reachability), shared with every clone taken after
+    /// the first query. Reset by [`ModuleProgram::with_domain`] — the
+    /// interval pass is seeded from the domain.
+    statics: OnceLock<Arc<StaticInfo>>,
 }
 
 impl ModuleProgram {
@@ -437,6 +444,7 @@ impl ModuleProgram {
             module,
             domain: vec![Interval::whole(); num_params],
             interpreter: Interpreter::default(),
+            statics: OnceLock::new(),
         })
     }
 
@@ -452,6 +460,9 @@ impl ModuleProgram {
             "domain arity mismatch"
         );
         self.domain = domain;
+        // The interval abstract interpreter is seeded from the domain, so
+        // any cached analysis is stale now.
+        self.statics = OnceLock::new();
         self
     }
 
@@ -486,12 +497,23 @@ impl ModuleProgram {
         &self.interpreter
     }
 
+    /// The cached static analysis of this program: CFGs, dominators,
+    /// liveness frame layouts, wave safety and interval reachability
+    /// (computed on first use, seeded from the search domain).
+    pub fn static_info(&self) -> &StaticInfo {
+        self.statics
+            .get_or_init(|| Arc::new(StaticInfo::compute(&self.module, self.entry, &self.domain)))
+    }
+
     /// Whether [`Analyzable::batch_executor`] hands out the lanewise kernel
-    /// under [`KernelPolicy::Auto`]: the entry function must be call-free
-    /// (calls execute per lane on the scalar interpreter, so a call-heavy
-    /// module gains nothing from the wave).
+    /// under [`KernelPolicy::Auto`]: the entry function must be *wave-safe*
+    /// per [`crate::analysis::eligibility`] — non-recursive, with every
+    /// reachable call naming an existing function of matching arity whose
+    /// callee is itself wave-safe, so the whole call tree runs as lockstep
+    /// frames. (The old heuristic demanded a call-free entry, which forced
+    /// every instrumented `W` module onto the scalar interpreter.)
     pub fn kernel_eligible(&self) -> bool {
-        crate::kernel::supports_lanewise(&self.module, self.entry)
+        self.static_info().eligible
     }
 
     /// Executes the entry function and also returns the final global values.
@@ -558,34 +580,33 @@ impl Analyzable for ModuleProgram {
     }
 
     fn op_sites(&self) -> Vec<OpSite> {
-        let mut sites = Vec::new();
-        for block in &self.module.function(self.entry).blocks {
-            for inst in &block.insts {
-                match inst {
-                    Inst::Bin { op, site: Some(s), .. } => {
-                        sites.push(OpSite::new(s.0, op.event_kind(), inst.to_string()));
-                    }
-                    Inst::Un { op, site: Some(s), .. } => {
-                        sites.push(OpSite::new(s.0, op.event_kind(), inst.to_string()));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        sites
+        self.static_info().op_sites.clone()
     }
 
     fn branch_sites(&self) -> Vec<BranchSite> {
-        let mut sites = Vec::new();
-        for block in &self.module.function(self.entry).blocks {
-            if let Terminator::CondBr {
-                site: Some(s), cmp, ..
-            } = &block.term
-            {
-                sites.push(BranchSite::new(s.0, *cmp, block.term.to_string()));
-            }
+        self.static_info().branch_sites.clone()
+    }
+
+    fn branch_side_reachability(&self, site: BranchId, taken: bool) -> Reachability {
+        match self.static_info().reach.branches.get(&site.0) {
+            Some(b) if taken => b.then_reach,
+            Some(b) => b.else_reach,
+            None => Reachability::Unknown,
         }
-        sites
+    }
+
+    fn branch_boundary_reachability(&self, site: BranchId) -> Reachability {
+        match self.static_info().reach.branches.get(&site.0) {
+            Some(b) => b.boundary_reach,
+            None => Reachability::Unknown,
+        }
+    }
+
+    fn op_site_reachability(&self, site: OpId) -> Reachability {
+        match self.static_info().reach.ops.get(&site.0) {
+            Some(o) => o.reach,
+            None => Reachability::Unknown,
+        }
     }
 
     fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
@@ -897,9 +918,10 @@ mod tests {
         let p = ModuleProgram::new(mb.build(), "main").unwrap();
 
         let inputs: Vec<Vec<f64>> = vec![vec![-3.0], vec![2.0], vec![-0.5]];
-        // The module calls a helper, so `Auto` resolves to the interpreter
-        // session rather than the lanewise kernel.
-        assert!(!p.kernel_eligible());
+        // The helper call is non-recursive with matching arity, so the
+        // eligibility pass keeps the module on the lanewise kernel under
+        // `Auto`; results and events must stay identical to scalar runs.
+        assert!(p.kernel_eligible());
         let mut session = p.batch_executor(KernelPolicy::Auto);
         for input in &inputs {
             let mut batch_rec = TraceRecorder::new();

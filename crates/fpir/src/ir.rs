@@ -388,13 +388,24 @@ pub enum Terminator {
 impl Terminator {
     /// The successor blocks of this terminator.
     pub fn successors(&self) -> Vec<BlockId> {
-        match self {
-            Terminator::Jump(b) => vec![*b],
+        self.successors_iter().collect()
+    }
+
+    /// The successor blocks of this terminator, without allocating.
+    ///
+    /// Every terminator has at most two successors, so the iterator is
+    /// backed by a fixed two-slot array; hot CFG walks (interpreter,
+    /// kernel, analysis passes) should prefer this over
+    /// [`Terminator::successors`].
+    pub fn successors_iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let pair = match self {
+            Terminator::Jump(b) => [Some(*b), None],
             Terminator::CondBr {
                 then_bb, else_bb, ..
-            } => vec![*then_bb, *else_bb],
-            Terminator::Return(_) => Vec::new(),
-        }
+            } => [Some(*then_bb), Some(*else_bb)],
+            Terminator::Return(_) => [None, None],
+        };
+        pair.into_iter().flatten()
     }
 }
 
@@ -562,26 +573,12 @@ impl Module {
     /// All instrumentation sites of floating-point operations in `func`,
     /// in block/instruction order.
     pub fn op_sites_of(&self, func: FuncId) -> Vec<OpId> {
-        let mut sites = Vec::new();
-        for block in &self.function(func).blocks {
-            for inst in &block.insts {
-                if let Some(s) = inst.site() {
-                    sites.push(s);
-                }
-            }
-        }
-        sites
+        crate::analysis::op_site_ids(self.function(func))
     }
 
     /// All instrumentation sites of conditional branches in `func`.
     pub fn branch_sites_of(&self, func: FuncId) -> Vec<fp_runtime::BranchId> {
-        let mut sites = Vec::new();
-        for block in &self.function(func).blocks {
-            if let Terminator::CondBr { site: Some(s), .. } = block.term {
-                sites.push(s);
-            }
-        }
-        sites
+        crate::analysis::branch_site_ids(self.function(func))
     }
 }
 

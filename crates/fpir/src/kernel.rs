@@ -11,20 +11,43 @@
 //! # Layout and execution model
 //!
 //! The register file is operand-major (structure of arrays): one
-//! contiguous run of `lanes` binary64 values per virtual register, so the
+//! contiguous run of `lanes` binary64 values per register *slot*, so the
 //! per-opcode dispatch (`match inst`) runs once per instruction and the
 //! inner loop over lanes is a tight stride-1 sweep — the compute-engine
 //! layering of SIMT runtimes (cf. kubecl), scaled down to a CPU
-//! interpreter. Global cells use the same layout. All lanes of a wave run
-//! in lockstep and therefore share a single fuel counter and cancellation
+//! interpreter. Registers are mapped to slots by the liveness-compacted
+//! [`FrameLayout`] of [`crate::analysis`]: registers that are never
+//! simultaneously live share a slot, shrinking the wave's footprint from
+//! `num_regs * lanes` to `num_slots * lanes` cells without changing a
+//! single bit (compaction is disabled for functions where a register may
+//! be read before it is written, preserving the zero-fill semantics).
+//! Global cells use the same SoA layout. All lanes of a wave run in
+//! lockstep and therefore share a single fuel counter and cancellation
 //! poll schedule, which keeps the kernel's out-of-fuel and cancellation
 //! behavior bit-identical to interpreting each input on its own.
+//!
+//! # Calls
+//!
+//! A call to a *wave-safe* callee (see [`crate::analysis::eligibility`]:
+//! non-recursive, existing target, matching arity, transitively wave-safe)
+//! stays in lockstep: the wave pushes the caller's SoA frame onto an
+//! explicit frame stack, marshals the arguments column-wise and continues
+//! at the callee's entry — mirroring the scalar interpreter's call
+//! protocol (charge the call instruction, then check the depth limit)
+//! tick for tick. A `ret` pops the stack, writes the return column into
+//! the caller's destination slot (`NaN` for a bare `ret`, like the scalar
+//! `unwrap_or(NAN)`) and resumes after the call. Calls to non-wave-safe
+//! callees evict the whole wave to the scalar resume path *at* the call
+//! instruction, which charges and executes it exactly as a from-scratch
+//! interpretation would.
 //!
 //! # Divergence and the scalar fallback
 //!
 //! Lanes leave the lockstep wave in three ways, all handled by resuming
-//! the lane on the scalar interpreter from its exact machine state
-//! (registers, globals, remaining fuel, probe context):
+//! the lane on the scalar interpreter from its exact machine state —
+//! including the whole stack of suspended wave frames, which the resume
+//! unwinds frame by frame (registers, globals, remaining fuel, probe
+//! context all carried over):
 //!
 //! * a **divergent branch** — the wave follows the better-populated side
 //!   of a conditional branch; the other side's lanes finish scalar;
@@ -32,14 +55,13 @@
 //!   (e.g. the overflow weak distance found its overflow); the scalar
 //!   resume reproduces the interpreter's stop-at-next-instruction (and
 //!   run-the-terminator) behavior exactly;
-//! * an **unsupported instruction** — `call` executes per lane on the
-//!   scalar interpreter, so modules whose entry function calls helpers
-//!   are only selected under [`KernelPolicy::Always`]
-//!   ([`KernelPolicy::Auto`] picks the plain interpreter session for
-//!   them; see [`supports_lanewise`]).
+//! * a **non-wave-safe call** — recursion or an ill-formed call target
+//!   executes per lane on the scalar interpreter (reachable only under
+//!   [`KernelPolicy::Always`]; [`KernelPolicy::Auto`] never selects the
+//!   kernel for such modules).
 //!
 //! Because each input owns its observer and IEEE lane operations are
-//! deterministic, straight-line specialization preserves every bit: the
+//! deterministic, lockstep specialization preserves every bit: the
 //! values, the per-input event streams and the stop/cancellation behavior
 //! are all identical to [`Interpreter::execute`] — the workspace-level
 //! `kernel_equivalence` proptests pin this down across every weak-distance
@@ -50,19 +72,25 @@
 //! [`KernelPolicy::Auto`]: fp_runtime::KernelPolicy::Auto
 //! [`Interpreter::execute`]: crate::Interpreter::execute
 
+use crate::analysis::FrameLayout;
 use crate::interp::{run_session_one, ExecState, Interpreter, ModuleProgram, CANCEL_POLL_INTERVAL};
-use crate::ir::{BlockId, FuncId, Inst, Module, Terminator};
+use crate::ir::{BlockId, FuncId, Inst, Module, Reg, Terminator};
 use fp_runtime::{BatchExecutor, CancelToken, Ctx, Observer};
 
 /// Maximum number of lanes executed in one lockstep wave. Bounds the SoA
-/// register file to `num_regs * WAVE_LANES` values while amortizing the
+/// register file to `num_slots * WAVE_LANES` values while amortizing the
 /// per-instruction dispatch over enough lanes to make it disappear.
 pub const WAVE_LANES: usize = 256;
 
-/// Whether the lanewise kernel can specialize `entry` of `module` into a
-/// wave: the entry function must be call-free (a `call` makes every lane
-/// fall back to the scalar interpreter, so there is nothing to gain).
-/// This is the eligibility test behind [`fp_runtime::KernelPolicy::Auto`].
+/// Legacy conservative check: whether `entry` of `module` is call-free.
+///
+/// This used to be the eligibility test behind
+/// [`fp_runtime::KernelPolicy::Auto`]; the structural wave-safety pass of
+/// [`crate::analysis::eligibility`] (see
+/// [`ModuleProgram::kernel_eligible`]) has replaced it — calls to
+/// non-recursive, arity-correct callees now run in lockstep. A call-free
+/// entry is trivially wave-safe, so this remains a sound (if needlessly
+/// strict) approximation for callers that only have a bare [`Module`].
 pub fn supports_lanewise(module: &Module, entry: FuncId) -> bool {
     module
         .function(entry)
@@ -71,33 +99,58 @@ pub fn supports_lanewise(module: &Module, entry: FuncId) -> bool {
         .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
 }
 
+/// A suspended caller frame of the lockstep wave: everything needed to
+/// resume the caller when the callee returns (or to unwind the lane on the
+/// scalar interpreter after an eviction).
+struct WaveFrame {
+    /// The suspended function.
+    func: FuncId,
+    /// Destination register of the call (in `func`'s numbering).
+    ret_dst: Reg,
+    /// Block containing the call instruction.
+    block: BlockId,
+    /// Index of the call instruction in that block.
+    inst: usize,
+    /// The caller's SoA register file (laid out by `func`'s
+    /// [`FrameLayout`]).
+    regs: Vec<f64>,
+    /// The caller's SoA argument file (`num_params * lanes`).
+    args: Vec<f64>,
+}
+
 /// The lanewise SoA kernel session handed out by
 /// [`ModuleProgram`]'s [`fp_runtime::Analyzable::batch_executor`] under a
 /// kernel-selecting policy.
 ///
-/// Scratch buffers (register file, global file, lane masks) are owned by
-/// the session and reused across waves, so a long batch allocates a
-/// constant amount of memory.
+/// Scratch buffers (register file, global file, lane masks, the wave
+/// frame stack) are owned by the session and reused across waves, so a
+/// long batch allocates a near-constant amount of memory.
 pub struct KernelExecutor<'a> {
     program: &'a ModuleProgram,
-    /// Whether the entry function is call-free ([`supports_lanewise`]):
-    /// when it is not, every wave evicts all lanes at the first `call`,
-    /// so batches effectively run on the scalar resume path.
+    /// Whether the entry function is wave-safe
+    /// ([`ModuleProgram::kernel_eligible`]): when it is not, waves evict
+    /// all lanes at the first non-wave-safe `call`, so batches effectively
+    /// run on the scalar resume path.
     lanewise: bool,
     /// Scalar interpreter session backing [`BatchExecutor::execute_one`].
     scalar: ExecState<'a>,
-    /// SoA register file: `regs[r * lanes + lane]`.
+    /// SoA register file of the current frame: `regs[slot * lanes + lane]`.
     regs: Vec<f64>,
+    /// SoA argument file of the current frame: `args[i * lanes + lane]`.
+    args: Vec<f64>,
     /// SoA global cells: `globals[g * lanes + lane]`.
     globals: Vec<f64>,
+    /// Suspended caller frames (lockstep calls in flight).
+    frames: Vec<WaveFrame>,
     /// Lanes still executing in lockstep.
     active: Vec<usize>,
     then_lanes: Vec<usize>,
     else_lanes: Vec<usize>,
     evicted: Vec<usize>,
-    /// One lane's registers/globals, recycled across scalar resumes so an
-    /// eviction allocates nothing (amortized).
+    /// One lane's registers/arguments/globals, recycled across scalar
+    /// resumes so an eviction allocates nothing (amortized).
     lane_regs: Vec<f64>,
+    lane_args: Vec<f64>,
     lane_globals: Vec<f64>,
 }
 
@@ -105,25 +158,28 @@ impl<'a> KernelExecutor<'a> {
     /// Creates a kernel session over `program`.
     pub fn new(program: &'a ModuleProgram) -> Self {
         KernelExecutor {
-            lanewise: supports_lanewise(program.module(), program.entry()),
+            lanewise: program.kernel_eligible(),
             scalar: ExecState::new(program.interpreter(), program.module()),
             program,
             regs: Vec::new(),
+            args: Vec::new(),
             globals: Vec::new(),
+            frames: Vec::new(),
             active: Vec::new(),
             then_lanes: Vec::new(),
             else_lanes: Vec::new(),
             evicted: Vec::new(),
             lane_regs: Vec::new(),
+            lane_args: Vec::new(),
             lane_globals: Vec::new(),
         }
     }
 
     /// Whether batches stay lanewise to the end (`false` means the entry
-    /// function contains calls, so every wave hands its lanes to the
-    /// scalar resume path at the first `call` — correct, but with nothing
-    /// left to amortize; [`fp_runtime::KernelPolicy::Auto`] picks the
-    /// plain interpreter session for such modules).
+    /// function is not wave-safe — recursion or an ill-formed call — so
+    /// every wave hands its lanes to the scalar resume path at the first
+    /// such call; [`fp_runtime::KernelPolicy::Auto`] picks the plain
+    /// interpreter session for such modules).
     pub fn is_lanewise(&self) -> bool {
         self.lanewise
     }
@@ -154,12 +210,15 @@ impl BatchExecutor for KernelExecutor<'_> {
             let Self {
                 program,
                 regs,
+                args,
                 globals,
+                frames,
                 active,
                 then_lanes,
                 else_lanes,
                 evicted,
                 lane_regs,
+                lane_args,
                 lane_globals,
                 ..
             } = self;
@@ -167,12 +226,15 @@ impl BatchExecutor for KernelExecutor<'_> {
                 program,
                 WaveScratch {
                     regs,
+                    args,
                     globals,
+                    frames,
                     active,
                     then_lanes,
                     else_lanes,
                     evicted,
                     lane_regs,
+                    lane_args,
                     lane_globals,
                 },
                 &inputs[offset..end],
@@ -195,12 +257,15 @@ impl std::fmt::Debug for KernelExecutor<'_> {
 /// The session-owned scratch buffers a wave runs in.
 struct WaveScratch<'s> {
     regs: &'s mut Vec<f64>,
+    args: &'s mut Vec<f64>,
     globals: &'s mut Vec<f64>,
+    frames: &'s mut Vec<WaveFrame>,
     active: &'s mut Vec<usize>,
     then_lanes: &'s mut Vec<usize>,
     else_lanes: &'s mut Vec<usize>,
     evicted: &'s mut Vec<usize>,
     lane_regs: &'s mut Vec<f64>,
+    lane_args: &'s mut Vec<f64>,
     lane_globals: &'s mut Vec<f64>,
 }
 
@@ -217,61 +282,122 @@ fn wave_tick(fuel: &mut u64, cancel: &CancelToken) -> bool {
     fuel.is_multiple_of(CANCEL_POLL_INTERVAL) && cancel.is_cancelled()
 }
 
-/// Copies one lane's registers and globals out of the SoA files into the
-/// session's recycled scratch buffers, for the scalar resume path.
-fn extract_lane_into(
+/// Finishes one lane on the scalar interpreter from its exact wave state,
+/// unwinding the whole stack of suspended wave frames: the innermost frame
+/// resumes at `(block, inst)`, and each suspended caller receives the
+/// callee's return value in its destination register before resuming after
+/// its call — bit-identical to having interpreted the lane from scratch
+/// (same registers, globals, fuel and probe context). One [`ExecState`]
+/// carries the remaining fuel across every unwound frame.
+#[allow(clippy::too_many_arguments)]
+fn resume_lane_stack(
+    program: &ModuleProgram,
+    layouts: &[FrameLayout],
+    frames: &[WaveFrame],
+    cur_func: FuncId,
     regs: &[f64],
+    args: &[f64],
     globals: &[f64],
     lanes: usize,
     lane: usize,
-    lane_regs: &mut Vec<f64>,
-    lane_globals: &mut Vec<f64>,
-) {
-    lane_regs.clear();
-    lane_regs.extend((0..regs.len() / lanes).map(|r| regs[r * lanes + lane]));
-    lane_globals.clear();
-    lane_globals.extend((0..globals.len() / lanes).map(|g| globals[g * lanes + lane]));
-}
-
-/// Finishes one lane on the scalar interpreter from its exact wave state:
-/// the continuation is bit-identical to having interpreted the lane from
-/// scratch (same registers, globals, fuel and probe context). The scratch
-/// buffers are borrowed for the resume and handed back afterwards.
-#[allow(clippy::too_many_arguments)]
-fn resume_lane(
-    program: &ModuleProgram,
     fuel: u64,
-    lane_regs: &mut [f64],
-    lane_globals: &mut Vec<f64>,
-    input: &[f64],
     ctx: &mut Ctx<'_>,
     block: BlockId,
     inst: usize,
+    lane_regs: &mut Vec<f64>,
+    lane_args: &mut Vec<f64>,
+    lane_globals: &mut Vec<f64>,
 ) -> Option<f64> {
+    let module = program.module();
+    lane_globals.clear();
+    lane_globals.extend((0..module.globals.len()).map(|g| globals[g * lanes + lane]));
     let mut state = ExecState::for_resume(
         program.interpreter(),
-        program.module(),
+        module,
         fuel,
         std::mem::take(lane_globals),
     );
-    let result = Interpreter::exec_in_frame(
-        &mut state,
-        program.entry(),
+
+    // Materialize one lane of an SoA frame as the full scalar register
+    // file: slot-sharing is invisible here because a dead register's stale
+    // cell is never read before the scalar code rewrites it (the layout is
+    // only compacted under that proof).
+    fn extract(
+        layout: &FrameLayout,
+        soa: &[f64],
+        num_regs: usize,
+        lanes: usize,
+        lane: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend((0..num_regs).map(|r| soa[layout.slot[r] * lanes + lane]));
+    }
+    fn extract_args(soa: &[f64], num_params: usize, lanes: usize, lane: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..num_params).map(|i| soa[i * lanes + lane]));
+    }
+
+    let function = module.function(cur_func);
+    extract(
+        &layouts[cur_func.0],
+        regs,
+        function.num_regs,
+        lanes,
+        lane,
         lane_regs,
-        input,
+    );
+    extract_args(args, function.num_params, lanes, lane, lane_args);
+    let mut val = Interpreter::exec_in_frame(
+        &mut state,
+        cur_func,
+        lane_regs,
+        lane_args,
         ctx,
-        0,
+        frames.len(),
         block,
         inst,
-    )
-    .ok()
-    .flatten();
+    );
+    for (depth, frame) in frames.iter().enumerate().rev() {
+        let ret = match &val {
+            Err(_) => break,
+            Ok(v) => v.unwrap_or(f64::NAN),
+        };
+        let function = module.function(frame.func);
+        extract(
+            &layouts[frame.func.0],
+            &frame.regs,
+            function.num_regs,
+            lanes,
+            lane,
+            lane_regs,
+        );
+        lane_regs[frame.ret_dst.0] = ret;
+        if ctx.stopped() {
+            // The scalar cascade returns `None` from every suspended caller
+            // once the observer has stopped; nothing further is observable.
+            val = Ok(None);
+            break;
+        }
+        extract_args(&frame.args, function.num_params, lanes, lane, lane_args);
+        val = Interpreter::exec_in_frame(
+            &mut state,
+            frame.func,
+            lane_regs,
+            lane_args,
+            ctx,
+            depth,
+            frame.block,
+            frame.inst + 1,
+        );
+    }
     *lane_globals = state.into_globals();
-    result
+    val.ok().flatten()
 }
 
 /// Executes up to [`WAVE_LANES`] inputs in lockstep over the entry
-/// function, writing one result per lane.
+/// function (and, via the wave frame stack, its wave-safe callees),
+/// writing one result per lane.
 fn run_wave(
     program: &ModuleProgram,
     scratch: WaveScratch<'_>,
@@ -281,18 +407,27 @@ fn run_wave(
 ) {
     let module = program.module();
     let interpreter = program.interpreter();
-    let function = module.function(program.entry());
+    let info = program.static_info();
+    let layouts = &info.analysis.layouts;
+    let wave_safe = &info.analysis.wave_safe;
     let lanes = inputs.len();
     let WaveScratch {
         regs,
+        args,
         globals,
+        frames,
         active,
         then_lanes,
         else_lanes,
         evicted,
         lane_regs,
+        lane_args,
         lane_globals,
     } = scratch;
+
+    let mut cur_func = program.entry();
+    let mut function = module.function(cur_func);
+    let mut layout = &layouts[cur_func.0];
 
     // Each input gets its own probe context over its own observer, exactly
     // like one scalar execution per input.
@@ -308,7 +443,15 @@ fn run_wave(
     }
 
     regs.clear();
-    regs.resize(function.num_regs * lanes, 0.0);
+    regs.resize(layout.num_slots * lanes, 0.0);
+    args.clear();
+    args.resize(function.num_params * lanes, 0.0);
+    for &lane in active.iter() {
+        for (i, &v) in inputs[lane].iter().enumerate() {
+            args[i * lanes + lane] = v;
+        }
+    }
+    frames.clear();
     globals.clear();
     globals.reserve(module.globals.len() * lanes);
     for g in &module.globals {
@@ -320,22 +463,31 @@ fn run_wave(
     let mut fuel = interpreter.fuel;
     let cancel = &interpreter.cancel;
     let mut block = function.entry();
+    let mut first = 0usize;
 
-    /// One lane leaves the wave: copy its state out of the SoA files and
-    /// finish it on the scalar interpreter from `(resume_block, resume_inst)`.
+    /// One lane leaves the wave: resume it on the scalar interpreter from
+    /// `(resume_block, resume_inst)` of the current frame, unwinding every
+    /// suspended wave frame behind it.
     macro_rules! leave_wave {
         ($lane:expr, $resume_block:expr, $resume_inst:expr) => {{
             let lane = $lane;
-            extract_lane_into(regs, globals, lanes, lane, lane_regs, lane_globals);
-            results[lane] = resume_lane(
+            results[lane] = resume_lane_stack(
                 program,
+                layouts,
+                frames,
+                cur_func,
+                regs,
+                args,
+                globals,
+                lanes,
+                lane,
                 fuel,
-                lane_regs,
-                lane_globals,
-                &inputs[lane],
                 &mut ctxs[lane],
                 $resume_block,
                 $resume_inst,
+                lane_regs,
+                lane_args,
+                lane_globals,
             );
         }};
     }
@@ -348,11 +500,12 @@ fn run_wave(
     /// run-the-terminator) behavior.
     macro_rules! sited_op {
         ($site:expr, $event:expr, $dst:expr, $idx:expr, $apply:expr) => {{
+            let dcol = layout.slot[$dst.0] * lanes;
             evicted.clear();
             for &lane in active.iter() {
                 let v = ($apply)(lane);
                 ctxs[lane].op($site.0, $event, v);
-                regs[$dst.0 * lanes + lane] = v;
+                regs[dcol + lane] = v;
                 if ctxs[lane].stopped() {
                     evicted.push(lane);
                 }
@@ -366,21 +519,27 @@ fn run_wave(
         }};
     }
 
-    loop {
+    'blocks: loop {
         let b = function.block(block);
-        for (idx, inst) in b.insts.iter().enumerate() {
+        let start = first.min(b.insts.len());
+        first = 0;
+        for idx in start..b.insts.len() {
+            let inst = &b.insts[idx];
             if active.is_empty() {
                 return;
             }
-            if matches!(inst, Inst::Call { .. }) {
-                // Calls run per lane on the scalar interpreter. Hand every
-                // remaining lane to the resume path *before* charging the
-                // instruction — the scalar loop charges it itself.
-                for &lane in active.iter() {
-                    leave_wave!(lane, block, idx);
+            if let Inst::Call { func: callee, .. } = inst {
+                if !wave_safe.get(callee.0).copied().unwrap_or(false) {
+                    // Non-wave-safe callee (recursion, ill-formed call):
+                    // hand every remaining lane to the resume path *before*
+                    // charging the instruction — the scalar loop charges it
+                    // itself.
+                    for &lane in active.iter() {
+                        leave_wave!(lane, block, idx);
+                    }
+                    active.clear();
+                    return;
                 }
-                active.clear();
-                return;
             }
             if wave_tick(&mut fuel, cancel) {
                 // Out of fuel or cancelled: every lockstep lane fails at
@@ -393,18 +552,21 @@ fn run_wave(
             }
             match inst {
                 Inst::Const { dst, value } => {
+                    let dcol = layout.slot[dst.0] * lanes;
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] = *value;
+                        regs[dcol + lane] = *value;
                     }
                 }
                 Inst::Copy { dst, src } => {
+                    let (dcol, scol) = (layout.slot[dst.0] * lanes, layout.slot[src.0] * lanes);
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] = regs[src.0 * lanes + lane];
+                        regs[dcol + lane] = regs[scol + lane];
                     }
                 }
                 Inst::Param { dst, index } => {
+                    let (dcol, icol) = (layout.slot[dst.0] * lanes, *index * lanes);
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] = inputs[lane][*index];
+                        regs[dcol + lane] = args[icol + lane];
                     }
                 }
                 Inst::Bin {
@@ -413,33 +575,42 @@ fn run_wave(
                     lhs,
                     rhs,
                     site,
-                } => match site {
-                    None => {
-                        for &lane in active.iter() {
-                            regs[dst.0 * lanes + lane] =
-                                op.apply(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane]);
+                } => {
+                    let (lcol, rcol) = (layout.slot[lhs.0] * lanes, layout.slot[rhs.0] * lanes);
+                    match site {
+                        None => {
+                            let dcol = layout.slot[dst.0] * lanes;
+                            for &lane in active.iter() {
+                                regs[dcol + lane] =
+                                    op.apply(regs[lcol + lane], regs[rcol + lane]);
+                            }
                         }
+                        Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
+                            .apply(regs[lcol + lane], regs[rcol + lane])),
                     }
-                    Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
-                        .apply(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane])),
-                },
-                Inst::Un { dst, op, arg, site } => match site {
-                    None => {
-                        for &lane in active.iter() {
-                            regs[dst.0 * lanes + lane] = op.apply(regs[arg.0 * lanes + lane]);
+                }
+                Inst::Un { dst, op, arg, site } => {
+                    let acol = layout.slot[arg.0] * lanes;
+                    match site {
+                        None => {
+                            let dcol = layout.slot[dst.0] * lanes;
+                            for &lane in active.iter() {
+                                regs[dcol + lane] = op.apply(regs[acol + lane]);
+                            }
                         }
+                        Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
+                            .apply(regs[acol + lane])),
                     }
-                    Some(s) => sited_op!(s, op.event_kind(), dst, idx, |lane: usize| op
-                        .apply(regs[arg.0 * lanes + lane])),
-                },
+                }
                 Inst::Cmp { dst, cmp, lhs, rhs } => {
+                    let dcol = layout.slot[dst.0] * lanes;
+                    let (lcol, rcol) = (layout.slot[lhs.0] * lanes, layout.slot[rhs.0] * lanes);
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] =
-                            if cmp.eval(regs[lhs.0 * lanes + lane], regs[rhs.0 * lanes + lane]) {
-                                1.0
-                            } else {
-                                0.0
-                            };
+                        regs[dcol + lane] = if cmp.eval(regs[lcol + lane], regs[rcol + lane]) {
+                            1.0
+                        } else {
+                            0.0
+                        };
                     }
                 }
                 Inst::Select {
@@ -448,23 +619,73 @@ fn run_wave(
                     if_true,
                     if_false,
                 } => {
+                    let dcol = layout.slot[dst.0] * lanes;
+                    let ccol = layout.slot[cond.0] * lanes;
+                    let (tcol, fcol) = (
+                        layout.slot[if_true.0] * lanes,
+                        layout.slot[if_false.0] * lanes,
+                    );
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] = if regs[cond.0 * lanes + lane] != 0.0 {
-                            regs[if_true.0 * lanes + lane]
+                        regs[dcol + lane] = if regs[ccol + lane] != 0.0 {
+                            regs[tcol + lane]
                         } else {
-                            regs[if_false.0 * lanes + lane]
+                            regs[fcol + lane]
                         };
                     }
                 }
-                Inst::Call { .. } => unreachable!("calls are evicted before dispatch"),
+                Inst::Call {
+                    dst,
+                    func: callee,
+                    args: call_args,
+                } => {
+                    // Lockstep call: the scalar interpreter's exec_function
+                    // rejects depth `frames.len() + 1` past the limit — all
+                    // lanes fail identically, with the call already charged.
+                    if frames.len() + 1 > interpreter.max_call_depth {
+                        for &lane in active.iter() {
+                            results[lane] = None;
+                        }
+                        active.clear();
+                        return;
+                    }
+                    let callee_fn = module.function(*callee);
+                    let callee_layout = &layouts[callee.0];
+                    let mut new_args = vec![0.0; callee_fn.num_params * lanes];
+                    for (i, r) in call_args.iter().enumerate() {
+                        let scol = layout.slot[r.0] * lanes;
+                        for &lane in active.iter() {
+                            new_args[i * lanes + lane] = regs[scol + lane];
+                        }
+                    }
+                    // The callee's frame zero-fills like a scalar frame
+                    // (observable only under an identity layout, where a
+                    // register may be read before any write).
+                    let new_regs = vec![0.0; callee_layout.num_slots * lanes];
+                    frames.push(WaveFrame {
+                        func: cur_func,
+                        ret_dst: *dst,
+                        block,
+                        inst: idx,
+                        regs: std::mem::replace(regs, new_regs),
+                        args: std::mem::replace(args, new_args),
+                    });
+                    cur_func = *callee;
+                    function = callee_fn;
+                    layout = callee_layout;
+                    block = function.entry();
+                    first = 0;
+                    continue 'blocks;
+                }
                 Inst::LoadGlobal { dst, global } => {
+                    let (dcol, gcol) = (layout.slot[dst.0] * lanes, global.0 * lanes);
                     for &lane in active.iter() {
-                        regs[dst.0 * lanes + lane] = globals[global.0 * lanes + lane];
+                        regs[dcol + lane] = globals[gcol + lane];
                     }
                 }
                 Inst::StoreGlobal { global, src } => {
+                    let (gcol, scol) = (global.0 * lanes, layout.slot[src.0] * lanes);
                     for &lane in active.iter() {
-                        globals[global.0 * lanes + lane] = regs[src.0 * lanes + lane];
+                        globals[gcol + lane] = regs[scol + lane];
                     }
                 }
             }
@@ -482,11 +703,39 @@ fn run_wave(
         match &b.term {
             Terminator::Jump(next) => block = *next,
             Terminator::Return(val) => {
-                for &lane in active.iter() {
-                    results[lane] = val.map(|r| regs[r.0 * lanes + lane]);
+                if let Some(mut frame) = frames.pop() {
+                    // Lockstep return: write the return column into the
+                    // caller's destination slot (`NaN` for a bare `ret`)
+                    // and resume the caller after its call instruction.
+                    let parent_layout = &layouts[frame.func.0];
+                    let dcol = parent_layout.slot[frame.ret_dst.0] * lanes;
+                    match val {
+                        Some(r) => {
+                            let rcol = layout.slot[r.0] * lanes;
+                            for &lane in active.iter() {
+                                frame.regs[dcol + lane] = regs[rcol + lane];
+                            }
+                        }
+                        None => {
+                            for &lane in active.iter() {
+                                frame.regs[dcol + lane] = f64::NAN;
+                            }
+                        }
+                    }
+                    *regs = frame.regs;
+                    *args = frame.args;
+                    cur_func = frame.func;
+                    function = module.function(cur_func);
+                    layout = parent_layout;
+                    block = frame.block;
+                    first = frame.inst + 1;
+                } else {
+                    for &lane in active.iter() {
+                        results[lane] = val.map(|r| regs[layout.slot[r.0] * lanes + lane]);
+                    }
+                    active.clear();
+                    return;
                 }
-                active.clear();
-                return;
             }
             Terminator::CondBr {
                 site,
@@ -496,11 +745,12 @@ fn run_wave(
                 then_bb,
                 else_bb,
             } => {
+                let (lcol, rcol) = (layout.slot[lhs.0] * lanes, layout.slot[rhs.0] * lanes);
                 then_lanes.clear();
                 else_lanes.clear();
                 for &lane in active.iter() {
-                    let l = regs[lhs.0 * lanes + lane];
-                    let r = regs[rhs.0 * lanes + lane];
+                    let l = regs[lcol + lane];
+                    let r = regs[rcol + lane];
                     let taken = if let Some(s) = site {
                         ctxs[lane].branch(s.0, l, *cmp, r)
                     } else {
@@ -508,7 +758,9 @@ fn run_wave(
                     };
                     if ctxs[lane].stopped() {
                         // The scalar interpreter returns no result right
-                        // after a stop-requesting branch event.
+                        // after a stop-requesting branch event (suspended
+                        // callers cascade the `None` without another
+                        // observable step).
                         results[lane] = None;
                     } else if taken {
                         then_lanes.push(lane);
@@ -637,6 +889,15 @@ mod tests {
     }
 
     #[test]
+    fn straightline_wave_compacts_its_register_file() {
+        let p = straightline();
+        let info = p.static_info();
+        let layout = &info.analysis.layouts[p.entry().0];
+        assert!(layout.compacted, "chain values share slots");
+        assert!(layout.num_slots < p.module().function(p.entry()).num_regs);
+    }
+
+    #[test]
     fn divergent_wave_is_bit_identical_to_scalar() {
         let p = square_gate();
         assert_kernel_matches_scalar(&p, &lane_inputs(100, 1));
@@ -706,11 +967,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn modules_with_calls_fall_back_per_lane_and_match_scalar() {
-        // main(x) calls callee(x) which scales a global: under `Always`
-        // the kernel evicts every lane at the call; results and events
-        // still match the scalar interpreter bit for bit.
+    /// main(x) calls callee(x·1) which scales a global through sited ops.
+    fn call_module() -> ModuleProgram {
         let mut mb = ModuleBuilder::new();
         let w = mb.global("w", 1.0);
         let mut callee = mb.function("callee", 1);
@@ -729,9 +987,161 @@ mod tests {
         let back = main.load_global(w);
         main.ret(Some(back));
         main.finish();
-        let p = ModuleProgram::new(mb.build(), "main").expect("entry exists");
-        assert!(!p.kernel_eligible());
+        ModuleProgram::new(mb.build(), "main").expect("entry exists")
+    }
+
+    #[test]
+    fn lockstep_calls_stay_in_the_wave_and_match_scalar() {
+        // The call is non-recursive with matching arity, so the wave pushes
+        // a frame and runs the callee in lockstep; results and events match
+        // the scalar interpreter bit for bit.
+        let p = call_module();
+        assert!(p.kernel_eligible(), "wave-safe calls are kernel-eligible");
         assert_kernel_matches_scalar(&p, &lane_inputs(40, 1));
+    }
+
+    #[test]
+    fn divergence_inside_a_callee_unwinds_the_frame_stack() {
+        // callee(x) = |x| via a branch (divergent across lanes); evicted
+        // lanes must unwind through the suspended caller frame.
+        let mut mb = ModuleBuilder::new();
+        let mut callee = mb.function("my_abs", 1);
+        let x = callee.param(0);
+        let z = callee.constant(0.0);
+        let neg_bb = callee.new_block();
+        let pos_bb = callee.new_block();
+        callee.cond_br(Some(0), x, Cmp::Lt, z, neg_bb, pos_bb);
+        callee.switch_to(neg_bb);
+        let n = callee.bin(BinOp::Sub, z, x, Some(0));
+        callee.ret(Some(n));
+        callee.switch_to(pos_bb);
+        callee.ret(Some(x));
+        let callee_id = callee.finish();
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let a = main.call(callee_id, vec![x]);
+        let one = main.constant(1.0);
+        let out = main.bin(BinOp::Add, a, one, Some(1));
+        main.ret(Some(out));
+        main.finish();
+        let p = ModuleProgram::new(mb.build(), "main").expect("entry exists");
+        assert!(p.kernel_eligible());
+        // Mixed signs force divergence inside the callee.
+        assert_kernel_matches_scalar(&p, &lane_inputs(64, 1));
+    }
+
+    #[test]
+    fn nested_calls_run_lockstep_and_match_scalar() {
+        // main -> outer -> inner: two suspended frames on the wave stack.
+        let mut mb = ModuleBuilder::new();
+        let mut inner = mb.function("inner", 2);
+        let a = inner.param(0);
+        let b = inner.param(1);
+        let s = inner.bin(BinOp::Add, a, b, Some(0));
+        inner.ret(Some(s));
+        let inner_id = inner.finish();
+        let mut outer = mb.function("outer", 1);
+        let x = outer.param(0);
+        let two = outer.constant(2.0);
+        let d = outer.call(inner_id, vec![x, two]);
+        let m = outer.bin(BinOp::Mul, d, d, Some(1));
+        outer.ret(Some(m));
+        let outer_id = outer.finish();
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let r = main.call(outer_id, vec![x]);
+        let half = main.constant(0.5);
+        let out = main.bin(BinOp::Mul, r, half, None);
+        main.ret(Some(out));
+        main.finish();
+        let p = ModuleProgram::new(mb.build(), "main").expect("entry exists");
+        assert!(p.kernel_eligible());
+        assert_kernel_matches_scalar(&p, &lane_inputs(96, 1));
+    }
+
+    #[test]
+    fn bare_ret_in_a_callee_yields_nan_like_scalar() {
+        let mut mb = ModuleBuilder::new();
+        let mut callee = mb.function("void_fn", 1);
+        let _ = callee.param(0);
+        callee.ret(None);
+        let callee_id = callee.finish();
+        let mut main = mb.function("main", 1);
+        let x = main.param(0);
+        let r = main.call(callee_id, vec![x]);
+        let out = main.bin(BinOp::Add, r, x, None);
+        main.ret(Some(out));
+        main.finish();
+        let p = ModuleProgram::new(mb.build(), "main").expect("entry exists");
+        assert!(p.kernel_eligible());
+        assert_kernel_matches_scalar(&p, &lane_inputs(8, 1));
+    }
+
+    #[test]
+    fn recursive_modules_fall_back_per_lane_and_match_scalar() {
+        // fact(n): n <= 0 ? 1 : n * fact(n - 1) — recursion is never
+        // wave-safe, so under `Always` the kernel evicts every lane at the
+        // call; results still match the scalar interpreter bit for bit.
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("fact", 1);
+        let n = f.param(0);
+        let zero = f.constant(0.0);
+        let one = f.constant(1.0);
+        let base_bb = f.new_block();
+        let rec_bb = f.new_block();
+        f.cond_br(Some(0), n, Cmp::Le, zero, base_bb, rec_bb);
+        f.switch_to(base_bb);
+        f.ret(Some(one));
+        f.switch_to(rec_bb);
+        let nm1 = f.bin(BinOp::Sub, n, one, None);
+        let sub = f.call(FuncId(0), vec![nm1]);
+        let prod = f.bin(BinOp::Mul, n, sub, Some(1));
+        f.ret(Some(prod));
+        f.finish();
+        let p = ModuleProgram::new(mb.build(), "fact").expect("entry exists");
+        assert!(!p.kernel_eligible(), "recursion is not wave-safe");
+        let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        assert_kernel_matches_scalar(&p, &inputs);
+    }
+
+    #[test]
+    fn observer_stop_inside_a_callee_matches_scalar() {
+        struct StopAbove(f64);
+        impl Observer for StopAbove {
+            fn on_op(&mut self, ev: &OpEvent) -> ProbeControl {
+                if ev.value > self.0 {
+                    ProbeControl::Stop
+                } else {
+                    ProbeControl::Continue
+                }
+            }
+        }
+        let p = call_module();
+        let inputs = lane_inputs(48, 1);
+        let mut session = p.batch_executor(KernelPolicy::Always);
+        let mut obs: Vec<StopAbove> = inputs.iter().map(|_| StopAbove(2.0)).collect();
+        let mut refs: Vec<&mut dyn Observer> =
+            obs.iter_mut().map(|o| o as &mut dyn Observer).collect();
+        let mut results = Vec::new();
+        session.execute_many(&inputs, &mut refs, &mut results);
+        for (lane, input) in inputs.iter().enumerate() {
+            let mut scalar_obs = StopAbove(2.0);
+            assert_eq!(
+                results[lane],
+                p.run(input, &mut scalar_obs),
+                "lane {lane} ({input:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_inside_a_callee_matches_scalar() {
+        // A tight budget that runs out mid-callee for later lanes: the
+        // shared wave fuel counter must fail the same lanes the per-input
+        // scalar budget fails.
+        let p = call_module()
+            .with_interpreter(Interpreter::default().with_fuel(9));
+        assert_kernel_matches_scalar(&p, &lane_inputs(16, 1));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod instrument;
 pub mod interp;
@@ -52,6 +53,7 @@ pub mod kernel;
 pub mod programs;
 pub mod validate;
 
+pub use analysis::{ModuleAnalysis, StaticInfo};
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use interp::{ExecError, Interpreter, ModuleProgram};
 pub use kernel::{supports_lanewise, KernelExecutor};

@@ -1,5 +1,15 @@
-//! Structural validation of IR modules.
+//! Strict verification of IR modules.
+//!
+//! [`validate`] combines the structural checks (index ranges, arities)
+//! with a dominance-based definite-assignment pass: a register read must be
+//! preceded by a write on *every* path from the function entry, so a value
+//! defined in only one branch arm cannot leak through the join as a silent
+//! `0.0`. [`diagnostics`] reports the non-fatal findings — unreachable
+//! blocks and (mutual) recursion — that are legal to execute (the
+//! interpreter zero-fills frames and bounds call depth) but usually
+//! indicate an instrumentation bug.
 
+use crate::analysis::{self, Cfg};
 use crate::ir::{FuncId, Inst, Module, Terminator};
 use std::fmt;
 
@@ -46,6 +56,14 @@ pub enum ValidationError {
         /// Details of the offence.
         detail: String,
     },
+    /// A register is read on some path before any write reaches it (for
+    /// example, defined in one branch arm and read after the join).
+    UseBeforeDef {
+        /// The offending function.
+        func: FuncId,
+        /// Details of the offence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -69,6 +87,9 @@ impl fmt::Display for ValidationError {
             ValidationError::BadGlobal { func, detail } => {
                 write!(f, "bad global in {func}: {detail}")
             }
+            ValidationError::UseBeforeDef { func, detail } => {
+                write!(f, "use before definition in {func}: {detail}")
+            }
         }
     }
 }
@@ -80,11 +101,37 @@ impl std::error::Error for ValidationError {}
 ///
 /// # Errors
 ///
-/// Returns a [`ValidationError`] describing the first structural problem:
-/// out-of-range registers, blocks, parameters, globals, or ill-formed calls.
+/// Returns a [`ValidationError`] describing the first problem: out-of-range
+/// registers, blocks, parameters, globals, ill-formed calls, or a register
+/// read that is not dominated by a write (definite assignment over every
+/// reachable path — the structural checks run first so the dataflow pass
+/// only ever sees in-range indices).
 pub fn validate(module: &Module) -> Result<(), ValidationError> {
     for (fi, func) in module.functions.iter().enumerate() {
-        let fid = FuncId(fi);
+        validate_structure(module, FuncId(fi), func)?;
+    }
+    for (fi, func) in module.functions.iter().enumerate() {
+        let cfg = Cfg::new(func);
+        if let Some((block, inst, reg)) = analysis::liveness::first_use_before_def(func, &cfg) {
+            let at = match inst {
+                Some(i) => format!("instruction {i} of {block}"),
+                None => format!("the terminator of {block}"),
+            };
+            return Err(ValidationError::UseBeforeDef {
+                func: FuncId(fi),
+                detail: format!("{reg} is read at {at} but not written on every path from entry"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_structure(
+    module: &Module,
+    fid: FuncId,
+    func: &crate::ir::Function,
+) -> Result<(), ValidationError> {
+    {
         if func.blocks.is_empty() {
             return Err(ValidationError::EmptyFunction { func: fid });
         }
@@ -202,6 +249,63 @@ pub fn validate(module: &Module) -> Result<(), ValidationError> {
     Ok(())
 }
 
+/// A non-fatal finding of the strict verifier.
+///
+/// Both conditions execute fine — the interpreter zero-fills frames, never
+/// enters unreachable blocks and bounds call depth — but they are almost
+/// always instrumentation bugs, so the `analyze` bench surfaces them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// A block no path from the function entry reaches.
+    UnreachableBlock {
+        /// The containing function.
+        func: FuncId,
+        /// The unreachable block.
+        block: crate::ir::BlockId,
+    },
+    /// A function that can reach itself through calls; such functions never
+    /// run lockstep in the lanewise kernel.
+    RecursiveFunction {
+        /// The recursive function.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::UnreachableBlock { func, block } => {
+                write!(f, "{block} of {func} is unreachable from the entry")
+            }
+            Diagnostic::RecursiveFunction { func } => {
+                write!(f, "{func} is (mutually) recursive")
+            }
+        }
+    }
+}
+
+/// Reports every non-fatal [`Diagnostic`] of `module`, in function order.
+pub fn diagnostics(module: &Module) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let call_graph = analysis::CallGraph::new(module);
+    for (fi, func) in module.functions.iter().enumerate() {
+        let cfg = Cfg::new(func);
+        for b in 0..cfg.num_blocks() {
+            let block = crate::ir::BlockId(b);
+            if !cfg.is_reachable(block) {
+                out.push(Diagnostic::UnreachableBlock {
+                    func: FuncId(fi),
+                    block,
+                });
+            }
+        }
+        if call_graph.recursive[fi] {
+            out.push(Diagnostic::RecursiveFunction { func: FuncId(fi) });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +400,79 @@ mod tests {
             validate(&m).unwrap_err(),
             ValidationError::EmptyFunction { .. }
         ));
+    }
+
+    #[test]
+    fn rejects_one_arm_definition_read_after_the_join() {
+        // if (x < 0) { y = x + x } ; return y — the classic bug the old
+        // structural validator waved through (the join read silently saw
+        // 0.0 on the else path).
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("j", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        let x = f.param(0);
+        let z = f.constant(0.0);
+        f.cond_br(None, x, Cmp::Lt, z, t, e);
+        f.switch_to(t);
+        let y = f.bin(BinOp::Add, x, x, None);
+        let _ = y;
+        f.jump(j);
+        f.switch_to(e);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(Some(y));
+        f.finish();
+        let m = mb.build();
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err, ValidationError::UseBeforeDef { .. }));
+        assert!(err.to_string().contains("not written on every path"));
+    }
+
+    #[test]
+    fn accepts_both_arm_definitions_read_after_the_join() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("j", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        let x = f.param(0);
+        let z = f.constant(0.0);
+        f.cond_br(None, x, Cmp::Lt, z, t, e);
+        f.switch_to(t);
+        let y = f.copy(x);
+        f.jump(j);
+        f.switch_to(e);
+        f.assign(y, z);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(Some(y));
+        f.finish();
+        assert_eq!(validate(&mb.build()), Ok(()));
+    }
+
+    #[test]
+    fn diagnostics_report_unreachable_blocks_and_recursion() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("r", 1);
+        let dead = f.new_block();
+        let x = f.param(0);
+        let r = f.call(crate::ir::FuncId(0), vec![x]);
+        f.ret(Some(r));
+        f.switch_to(dead);
+        f.ret(None);
+        f.finish();
+        let m = mb.build();
+        assert_eq!(validate(&m), Ok(()), "diagnostics are not errors");
+        let diags = diagnostics(&m);
+        assert!(diags.contains(&Diagnostic::UnreachableBlock {
+            func: crate::ir::FuncId(0),
+            block: dead,
+        }));
+        assert!(diags.contains(&Diagnostic::RecursiveFunction {
+            func: crate::ir::FuncId(0)
+        }));
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum Termination {
     /// The problem was rejected before any evaluation (e.g. a
     /// zero-dimensional objective).
     Invalid,
+    /// Static analysis proved the target unreachable over the search domain
+    /// before any evaluation was spent: the weak distance can never hit 0,
+    /// so the run was pruned.
+    StaticallyUnreachable,
 }
 
 impl Termination {
@@ -38,6 +42,7 @@ impl fmt::Display for Termination {
             Termination::IterationsCompleted => "iterations completed",
             Termination::Cancelled => "cancelled",
             Termination::Invalid => "invalid problem",
+            Termination::StaticallyUnreachable => "statically unreachable",
         };
         f.write_str(s)
     }

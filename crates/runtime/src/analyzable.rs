@@ -7,10 +7,39 @@
 //! operation sites and branch sites, and a way to execute it while reporting
 //! runtime events.
 
-use crate::event::{BranchSite, OpSite};
+use crate::event::{BranchId, BranchSite, OpId, OpSite};
 use crate::interval::Interval;
 use crate::probe::Ctx;
 use crate::recorder::Observer;
+
+/// What a static analysis can prove about whether a runtime target (a
+/// branch direction, a branch boundary, an operation site) can occur.
+///
+/// The contract is asymmetric, matching what sound over-approximation can
+/// deliver: [`Reachability::Unreachable`] is a **proof** that no execution
+/// over the program's search domain produces the target, and analyses may
+/// short-circuit work on its strength; [`Reachability::Reachable`] is a
+/// proof that some execution does; [`Reachability::Unknown`] (the default
+/// for every program without a static analysis) commits to nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reachability {
+    /// Some in-domain execution provably produces the target.
+    Reachable,
+    /// No in-domain execution can produce the target; weak distances may
+    /// prune minimization of this target without evaluating anything.
+    Unreachable,
+    /// The analysis cannot decide (or no analysis ran). Treat as possibly
+    /// reachable.
+    #[default]
+    Unknown,
+}
+
+impl Reachability {
+    /// True exactly for [`Reachability::Unreachable`].
+    pub fn is_unreachable(self) -> bool {
+        matches!(self, Reachability::Unreachable)
+    }
+}
 
 /// Selects the execution backend a program's [`Analyzable::batch_executor`]
 /// hands out for batched evaluation.
@@ -99,6 +128,32 @@ pub trait Analyzable: Send + Sync {
         let _ = policy; // only programs with a kernel backend consult it
         Box::new(ScalarBatchExecutor(self))
     }
+
+    /// What a static analysis knows about taking branch `site` in direction
+    /// `taken` (over the program's search domain).
+    ///
+    /// The default — no analysis — is [`Reachability::Unknown`]. A result of
+    /// [`Reachability::Unreachable`] must be a proof: analyses use it to
+    /// skip minimization entirely, charging zero evaluations.
+    fn branch_side_reachability(&self, site: BranchId, taken: bool) -> Reachability {
+        let _ = (site, taken);
+        Reachability::Unknown
+    }
+
+    /// What a static analysis knows about the *boundary* of branch `site`
+    /// (an execution where the two comparison operands are exactly equal,
+    /// the target of boundary value analysis).
+    fn branch_boundary_reachability(&self, site: BranchId) -> Reachability {
+        let _ = site;
+        Reachability::Unknown
+    }
+
+    /// What a static analysis knows about operation site `site` executing
+    /// at all (over the program's search domain).
+    fn op_site_reachability(&self, site: OpId) -> Reachability {
+        let _ = site;
+        Reachability::Unknown
+    }
 }
 
 /// A reusable execution session over one [`Analyzable`] program: the
@@ -181,6 +236,18 @@ impl<P: Analyzable + ?Sized> Analyzable for &P {
 
     fn execute(&self, input: &[f64], ctx: &mut Ctx<'_>) -> Option<f64> {
         (**self).execute(input, ctx)
+    }
+
+    fn branch_side_reachability(&self, site: BranchId, taken: bool) -> Reachability {
+        (**self).branch_side_reachability(site, taken)
+    }
+
+    fn branch_boundary_reachability(&self, site: BranchId) -> Reachability {
+        (**self).branch_boundary_reachability(site)
+    }
+
+    fn op_site_reachability(&self, site: OpId) -> Reachability {
+        (**self).op_site_reachability(site)
     }
 }
 

@@ -1,0 +1,169 @@
+//! Soundness of the fpir static-analysis layer, property-tested over the
+//! module suite: every claim the interval abstract interpreter makes must
+//! hold on every concrete in-domain execution, and the liveness-compacted
+//! kernel register files must never change a value.
+//!
+//! Three properties, each over random in-bounds inputs:
+//!
+//! 1. **Value soundness** — every value an executed op site computes lies
+//!    in the `AbsVal` the analysis assigned to that site (NaN included);
+//! 2. **Reachability soundness** — an executed op site, a taken branch
+//!    direction, and a concretely-hit boundary (`lhs == rhs`) are never
+//!    classified `Unreachable`;
+//! 3. **Layout soundness** — the lanewise kernel with compacted SoA frames
+//!    (`KernelPolicy::Always`) returns bit-identical results and event
+//!    streams to the scalar interpreter (`KernelPolicy::Never`).
+
+mod common;
+
+use common::{module_suite, program};
+use proptest::prelude::*;
+use wdm::runtime::{
+    Analyzable, BranchEvent, KernelPolicy, Observer, OpEvent, ProbeControl, Reachability,
+};
+
+/// Records every observed event, with enough detail to check it against
+/// the static summary (and to compare backends bit for bit).
+#[derive(Default, Clone, PartialEq, Debug)]
+struct EventLog {
+    ops: Vec<(u32, u64)>,
+    branches: Vec<(u32, bool, bool)>,
+}
+
+impl Observer for EventLog {
+    fn on_op(&mut self, ev: &OpEvent) -> ProbeControl {
+        self.ops.push((ev.id.0, ev.value.to_bits()));
+        ProbeControl::Continue
+    }
+
+    fn on_branch(&mut self, ev: &BranchEvent) -> ProbeControl {
+        self.branches
+            .push((ev.id.0, ev.taken, ev.lhs.to_bits() == ev.rhs.to_bits()));
+        ProbeControl::Continue
+    }
+}
+
+/// The common ±1e6 search box of [`common::program`], as input clamping.
+fn clamp_in_domain(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(-1.0e6, 1.0e6)
+    }
+}
+
+/// Deterministic in-domain points from a seed (mix borrowed from
+/// `common::points_in_radius`, pre-clamped into the search box).
+fn in_domain_points(seed: u64, n: usize) -> Vec<Vec<f64>> {
+    common::suite_points(seed, n)
+        .into_iter()
+        .map(|x| x.into_iter().map(clamp_in_domain).collect())
+        .collect()
+}
+
+proptest! {
+    /// Properties 1 and 2: concrete executions never contradict the
+    /// interval abstract interpreter.
+    #[test]
+    fn concrete_executions_respect_the_static_summary(
+        seed in any::<u64>(),
+        n in 1usize..48,
+    ) {
+        for (name, module, entry) in module_suite() {
+            let p = program(&module, entry);
+            let info = p.static_info();
+            prop_assert!(info.validated, "{}: suite modules must verify", name);
+            for x in in_domain_points(seed, n) {
+                let mut log = EventLog::default();
+                p.run(&x, &mut log);
+                for (id, value_bits) in &log.ops {
+                    let op = info.reach.ops.get(id).expect("executed site is known");
+                    prop_assert!(
+                        op.reach != Reachability::Unreachable,
+                        "{}: op {} executed on {:?} but was proved unreachable",
+                        name, id, x
+                    );
+                    let v = f64::from_bits(*value_bits);
+                    prop_assert!(
+                        op.value.contains(v),
+                        "{}: op {} computed {} outside [{}, {}] (nan={}) on {:?}",
+                        name, id, v, op.value.lo, op.value.hi, op.value.nan, x
+                    );
+                }
+                for (id, taken, on_boundary) in &log.branches {
+                    let br = info.reach.branches.get(id).expect("executed site is known");
+                    let side = if *taken { br.then_reach } else { br.else_reach };
+                    prop_assert!(
+                        side != Reachability::Unreachable,
+                        "{}: branch {} took dir {} on {:?} but that side was proved dead",
+                        name, id, taken, x
+                    );
+                    if *on_boundary {
+                        prop_assert!(
+                            br.boundary_reach != Reachability::Unreachable,
+                            "{}: branch {} hit its boundary on {:?} but it was proved dead",
+                            name, id, x
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property 3: the compacted-frame kernel is bit-identical to the
+    /// scalar interpreter — results and observed event streams both.
+    #[test]
+    fn compacted_kernel_frames_are_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        n in 1usize..96,
+    ) {
+        let xs = in_domain_points(seed, n);
+        for (name, module, entry) in module_suite() {
+            let p = program(&module, entry);
+            let mut runs = Vec::new();
+            for policy in [KernelPolicy::Never, KernelPolicy::Always] {
+                let mut session = p.batch_executor(policy);
+                let mut logs = vec![EventLog::default(); xs.len()];
+                let mut results = Vec::new();
+                {
+                    let mut observers: Vec<&mut dyn Observer> =
+                        logs.iter_mut().map(|l| l as &mut dyn Observer).collect();
+                    session.execute_many(&xs, &mut observers, &mut results);
+                }
+                let result_bits: Vec<Option<u64>> = results
+                    .iter()
+                    .map(|r| r.map(f64::to_bits))
+                    .collect();
+                runs.push((result_bits, logs));
+            }
+            prop_assert_eq!(&runs[0].0, &runs[1].0, "{}: results", name);
+            prop_assert_eq!(&runs[0].1, &runs[1].1, "{}: event streams", name);
+        }
+    }
+}
+
+/// The bit-identity property above is not vacuous: the suite contains
+/// modules whose entry frame really is liveness-compacted, and instrumented
+/// `W` drivers that really are kernel-eligible despite their calls.
+#[test]
+fn suite_exercises_compaction_and_call_eligibility() {
+    let mut any_compacted = false;
+    let mut any_instrumented_eligible = false;
+    for (name, module, entry) in module_suite() {
+        let p = program(&module, entry);
+        let info = p.static_info();
+        let entry_id = module.function_by_name(entry).unwrap();
+        let layout = &info.analysis.layouts[entry_id.0];
+        if layout.compacted && layout.num_slots < module.function(entry_id).num_regs {
+            any_compacted = true;
+        }
+        if name.starts_with("W_") && p.kernel_eligible() {
+            any_instrumented_eligible = true;
+        }
+    }
+    assert!(any_compacted, "no suite entry frame was compacted");
+    assert!(
+        any_instrumented_eligible,
+        "no instrumented W module is kernel-eligible under Auto"
+    );
+}
