@@ -1,0 +1,226 @@
+//! Throughput of the multi-tenant analysis service: N concurrent
+//! synthetic jobs time-sliced over one shared pool, measured twice —
+//! without and with durable checkpointing — to price the fair-share
+//! scheduler and the checkpoint cadence.
+//!
+//! Reported (and written to `BENCH_service.json`):
+//!
+//! * jobs per second over the whole tenant mix;
+//! * p50/p99 slice latency: the time between consecutive progress
+//!   events of one job, i.e. how long a tenant waits for (and then
+//!   spends in) its next turn;
+//! * checkpoint overhead: the wall-clock cost of persisting every
+//!   job's snapshot each turn, as a fraction of the plain run.
+//!
+//! The two runs must also produce bit-identical outcomes per job — the
+//! determinism contract — which this binary asserts as a side effect.
+//!
+//! Usage: `service_throughput [--smoke] [--threads N] [--jobs N]
+//! [--json <path>]`
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wdm_core::weak_distance::FnWeakDistance;
+use wdm_core::AnalysisConfig;
+use wdm_service::{AnalysisService, EventKind, JobSpec, ServiceConfig};
+
+#[derive(Debug, Clone, Serialize)]
+struct RunStats {
+    checkpointed: bool,
+    wall_seconds: f64,
+    jobs_per_second: f64,
+    slices: usize,
+    slice_latency_ms_p50: f64,
+    slice_latency_ms_p99: f64,
+    checkpoints_written: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ServiceReport {
+    smoke: bool,
+    threads: usize,
+    jobs: usize,
+    rounds_per_turn: usize,
+    max_evals: usize,
+    plain: RunStats,
+    durable: RunStats,
+    /// Durable wall clock as a fraction over the plain run's
+    /// (0.07 = checkpointing cost 7%).
+    checkpoint_overhead_fraction: f64,
+    /// Every job's outcome was bit-identical across the two runs.
+    outcomes_identical: bool,
+}
+
+/// Zero-free synthetic tenant `i`: every job spends its whole budget, so
+/// the two runs are comparable slice for slice.
+fn tenant(i: usize) -> Arc<dyn wdm_core::WeakDistance> {
+    let a = i as f64 * 1.7 - 3.0;
+    Arc::new(FnWeakDistance::new(
+        1,
+        vec![fp_runtime::Interval::symmetric(1.0e3)],
+        move |x: &[f64]| (x[0] - a).abs() + 0.5 + (i % 3) as f64,
+    ))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `jobs` tenants to completion and collects slice-latency samples
+/// from the progress stream. Returns the stats and each job's terminal
+/// (outcome-evals, best-value-bits) pair for the determinism check.
+fn run_workload(
+    threads: usize,
+    jobs: usize,
+    rounds_per_turn: usize,
+    config: &AnalysisConfig,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> (RunStats, Vec<(usize, u64)>) {
+    let mut service_config = ServiceConfig::new(threads).with_rounds_per_turn(rounds_per_turn);
+    if let Some(dir) = checkpoint_dir {
+        service_config = service_config.with_checkpoint_dir(dir);
+    }
+    let started = Instant::now();
+    let service = AnalysisService::start(service_config);
+    let handle = service.handle();
+    let events = handle.subscribe();
+    let ids: Vec<_> = (0..jobs)
+        .map(|i| {
+            handle
+                .submit(JobSpec::new(
+                    format!("tenant-{i}"),
+                    tenant(i),
+                    config.clone().with_seed_offset(i as u64),
+                ))
+                .expect("service accepts submissions")
+        })
+        .collect();
+
+    let mut last_seen: Vec<Instant> = vec![started; jobs];
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut checkpoints = 0usize;
+    let mut finished = 0usize;
+    while finished < jobs {
+        let event = events
+            .recv_timeout(Duration::from_secs(600))
+            .expect("service makes progress");
+        match event.kind {
+            EventKind::Progress { .. } => {
+                let now = Instant::now();
+                latencies.push(now.duration_since(last_seen[event.job.0]).as_secs_f64());
+                last_seen[event.job.0] = now;
+            }
+            EventKind::Checkpointed { .. } => checkpoints += 1,
+            EventKind::Finished { .. } | EventKind::Cancelled => finished += 1,
+            EventKind::Admitted { .. } => {}
+        }
+    }
+    let signatures: Vec<(usize, u64)> = ids
+        .into_iter()
+        .map(|id| {
+            let run = handle.wait(id).run;
+            let outcome = run.outcome();
+            let best = match outcome {
+                wdm_core::Outcome::Found { .. } => 0u64,
+                wdm_core::Outcome::NotFound { best_value, .. } => best_value.to_bits(),
+            };
+            (outcome.evals(), best)
+        })
+        .collect();
+    service.shutdown();
+    let wall = started.elapsed().as_secs_f64();
+
+    latencies.sort_by(f64::total_cmp);
+    let stats = RunStats {
+        checkpointed: checkpoint_dir.is_some(),
+        wall_seconds: wall,
+        jobs_per_second: jobs as f64 / wall.max(1.0e-9),
+        slices: latencies.len(),
+        slice_latency_ms_p50: percentile(&latencies, 0.50) * 1.0e3,
+        slice_latency_ms_p99: percentile(&latencies, 0.99) * 1.0e3,
+        checkpoints_written: checkpoints,
+    };
+    (stats, signatures)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    };
+    let threads = flag("--threads").unwrap_or_else(|| {
+        std::env::var("WDM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4)
+    });
+    let jobs = flag("--jobs").unwrap_or(if smoke { 6 } else { 24 });
+    let (rounds_per_turn, max_evals) = if smoke { (1, 1_200) } else { (2, 8_000) };
+    let config = AnalysisConfig::quick(23)
+        .with_rounds(1)
+        .with_max_evals(max_evals);
+
+    println!(
+        "Service throughput ({} mode): {jobs} tenants x {max_evals} evals, {threads} workers, \
+         {rounds_per_turn} rounds/turn",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let (plain, plain_sig) = run_workload(threads, jobs, rounds_per_turn, &config, None);
+    let dir = std::env::temp_dir().join(format!("wdm-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, durable_sig) = run_workload(threads, jobs, rounds_per_turn, &config, Some(&dir));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let outcomes_identical = plain_sig == durable_sig;
+    assert!(
+        outcomes_identical,
+        "determinism violation: checkpointing changed an outcome\nplain:   {plain_sig:?}\n\
+         durable: {durable_sig:?}"
+    );
+    let checkpoint_overhead_fraction =
+        (durable.wall_seconds - plain.wall_seconds) / plain.wall_seconds.max(1.0e-9);
+
+    for stats in [&plain, &durable] {
+        println!(
+            "{:<8} {:>7.2} jobs/s over {:.2}s, {} slices, slice latency p50 {:.2}ms / p99 \
+             {:.2}ms, {} checkpoints",
+            if stats.checkpointed { "durable" } else { "plain" },
+            stats.jobs_per_second,
+            stats.wall_seconds,
+            stats.slices,
+            stats.slice_latency_ms_p50,
+            stats.slice_latency_ms_p99,
+            stats.checkpoints_written,
+        );
+    }
+    println!(
+        "checkpoint overhead: {:+.1}% wall clock; outcomes bit-identical: {outcomes_identical}",
+        checkpoint_overhead_fraction * 100.0
+    );
+
+    let report = ServiceReport {
+        smoke,
+        threads,
+        jobs,
+        rounds_per_turn,
+        max_evals,
+        plain,
+        durable,
+        checkpoint_overhead_fraction,
+        outcomes_identical,
+    };
+    wdm_bench::emit_json("service", &report);
+}

@@ -39,13 +39,15 @@
 //!
 //! [`PortfolioPolicy::Race`]: crate::driver::PortfolioPolicy::Race
 
+use crate::checkpoint::{ActiveCkpt, AdaptiveCheckpoint, AnalysisCheckpoint, ArmStatsCkpt};
 use crate::driver::{
     derive_round_seed, outcome_from_best, pick_winner, round_improves, AnalysisConfig,
     MinimizationRun, PortfolioEntry, PortfolioRun,
 };
 use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
 use crate::BackendKind;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use wdm_mo::checkpoint::ResultCkpt;
 use wdm_mo::stepped::{MinimizerStep, StepStatus};
 use wdm_mo::{
     CancelToken, MinimizeResult, NoTrace, Problem, SamplingTrace, SteppedMinimizer,
@@ -266,6 +268,66 @@ impl<'wd> SteppedAnalysis<'wd> {
             trace,
         }
     }
+
+    /// Snapshots the analysis for durable storage (floats as IEEE-754
+    /// bit patterns, see [`crate::checkpoint`]). Returns `None` when a
+    /// paused active round's backend cannot checkpoint (a coarse
+    /// wrapper mid-round) — drive such a round to its next boundary
+    /// first.
+    pub fn checkpoint(&self) -> Option<AnalysisCheckpoint> {
+        let active = match &self.active {
+            None => None,
+            Some(a) => Some(ActiveCkpt {
+                step: a.machine.checkpoint()?,
+                trace: a.trace.as_ref().map(SamplingTrace::checkpoint),
+            }),
+        };
+        Some(AnalysisCheckpoint {
+            round: self.round,
+            active,
+            best: self.best.as_ref().map(ResultCkpt::of),
+            total_evals: self.total_evals,
+            trace: self.trace.checkpoint(),
+            hit: self.hit,
+            finished: self.finished,
+        })
+    }
+
+    /// Rebuilds an analysis from a [`checkpoint`](Self::checkpoint).
+    /// `wd` and `config` are re-supplied by the caller and must match
+    /// the checkpointed run (the snapshot stores neither, exactly as
+    /// backend configs are re-supplied to
+    /// [`SteppedMinimizer::restore`]); `cancel` is a fresh token —
+    /// cancellation is deliberately not durable. Returns `None` if the
+    /// active backend state does not match `config.backend` or fails
+    /// validation.
+    pub fn restore(
+        wd: &'wd dyn WeakDistance,
+        config: &AnalysisConfig,
+        cancel: CancelToken,
+        ckpt: &AnalysisCheckpoint,
+    ) -> Option<Self> {
+        let mut analysis = SteppedAnalysis::new(wd, config, cancel);
+        analysis.round = ckpt.round;
+        analysis.best = ckpt.best.as_ref().map(ResultCkpt::restore);
+        analysis.total_evals = ckpt.total_evals;
+        analysis.trace = SamplingTrace::from_checkpoint(&ckpt.trace);
+        analysis.hit = ckpt.hit;
+        analysis.finished = ckpt.finished;
+        if let Some(a) = &ckpt.active {
+            let problem = Problem::new(&analysis.objective, analysis.bounds.clone())
+                .with_target(0.0)
+                .with_max_evals(analysis.config.max_evals)
+                .with_cancel(analysis.cancel.clone());
+            let machine = analysis.backend.restore(&problem, &a.step)?;
+            drop(problem);
+            analysis.active = Some(ActiveRound {
+                machine,
+                trace: a.trace.as_ref().map(SamplingTrace::from_checkpoint),
+            });
+        }
+        Some(analysis)
+    }
 }
 
 /// Relative best-residual improvement of one slice, the bandit's reward:
@@ -300,68 +362,144 @@ struct ArmStats {
     seen: bool,
 }
 
-/// [`minimize_weak_distance_adaptive`] with an external cancellation
-/// token: the scheduler stops at the next round boundary once `cancel`
-/// fires, then lets every arm observe the cancellation.
-pub fn minimize_weak_distance_adaptive_cancellable(
-    wd: &dyn WeakDistance,
-    config: &AnalysisConfig,
-    backends: &[BackendKind],
-    cancel: &CancelToken,
-) -> PortfolioRun {
-    assert!(!backends.is_empty(), "portfolio needs at least one backend");
-    // The shared first-hit token: a child of the external token so outside
-    // cancellation reaches the arms, fired by the scheduler when some arm
-    // finds a zero.
-    let race = cancel.child();
-    let arms: Vec<Mutex<SteppedAnalysis<'_>>> = backends
-        .iter()
-        .enumerate()
-        .map(|(index, &backend)| {
-            let cfg = config
-                .clone()
-                .with_backend(backend)
-                .with_parallelism(1)
-                // Decorrelate the backends' restart streams, as in race
-                // mode (offset 0 leaves the seed unchanged).
-                .with_seed_offset(index as u64);
-            Mutex::new(SteppedAnalysis::new(wd, &cfg, race.child()))
-        })
-        .collect();
-    let lock = |i: usize| arms[i].lock().expect("adaptive arm lock");
-    let coarse: Vec<bool> = (0..arms.len()).map(|i| lock(i).is_coarse()).collect();
+/// Per-arm analysis config: decorrelate the backends' restart streams,
+/// as in race mode (offset 0 leaves the seed unchanged).
+fn arm_config(config: &AnalysisConfig, backend: BackendKind, index: usize) -> AnalysisConfig {
+    config
+        .clone()
+        .with_backend(backend)
+        .with_parallelism(1)
+        .with_seed_offset(index as u64)
+}
 
-    let rounds = config.rounds.max(1);
-    // The shared evaluation pool: ONE direct backend run's worth. A
-    // single-arm portfolio has nothing to reallocate and runs to natural
-    // completion instead (bit-identical to the direct driver run; a hard
-    // pool could cut the last round short, since local searches may
-    // overshoot a round budget by a bounded amount).
-    let pool = if backends.len() == 1 {
-        usize::MAX
-    } else {
-        rounds.saturating_mul(config.max_evals).max(1)
-    };
-    let base_slice = (config.max_evals / 8).max(64);
-    let probe_slice = (base_slice / PROBE_DIVISOR).max(16);
-    let workers = config.parallelism.max(1);
+/// The adaptive scheduler as a resumable value: the bandit statistics
+/// plus every arm's [`SteppedAnalysis`], steppable one scheduler round
+/// at a time. [`minimize_weak_distance_adaptive_cancellable`] is
+/// exactly `new` + `while round(..) {}` + `finalize` + `into_run`, so a
+/// caller driving a portfolio round by round — with serialize/restore
+/// cycles in between ([`checkpoint`](Self::checkpoint) /
+/// [`restore`](Self::restore)) — produces bit-identical results. This
+/// is the seam the multi-tenant analysis service time-slices and makes
+/// durable.
+pub struct AdaptivePortfolio<'wd> {
+    config: AnalysisConfig,
+    backends: Vec<BackendKind>,
+    cancel: CancelToken,
+    race: CancelToken,
+    arms: Vec<Mutex<SteppedAnalysis<'wd>>>,
+    coarse: Vec<bool>,
+    stats: Vec<ArmStats>,
+    pool: usize,
+    base_slice: usize,
+    probe_slice: usize,
+    spent: usize,
+    found: bool,
+    t: u64,
+    last_leader: Option<usize>,
+}
 
-    let mut stats: Vec<ArmStats> = backends
-        .iter()
-        .map(|_| ArmStats {
-            plays: 0.0,
-            mean_reward: 0.0,
-            seen: false,
-        })
-        .collect();
-    let mut spent = 0usize;
-    let mut found = false;
-    let mut t = 0u64;
+impl<'wd> AdaptivePortfolio<'wd> {
+    /// Captures the initial scheduler state for `backends` over `wd`.
+    /// `cancel` is the external token; the scheduler derives the shared
+    /// first-hit token from it, so outside cancellation reaches the
+    /// arms and a found zero cancels the laggards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn new(
+        wd: &'wd dyn WeakDistance,
+        config: &AnalysisConfig,
+        backends: &[BackendKind],
+        cancel: &CancelToken,
+    ) -> Self {
+        assert!(!backends.is_empty(), "portfolio needs at least one backend");
+        // The shared first-hit token: a child of the external token so
+        // outside cancellation reaches the arms, fired by the scheduler
+        // when some arm finds a zero.
+        let race = cancel.child();
+        let arms: Vec<Mutex<SteppedAnalysis<'_>>> = backends
+            .iter()
+            .enumerate()
+            .map(|(index, &backend)| {
+                let cfg = arm_config(config, backend, index);
+                Mutex::new(SteppedAnalysis::new(wd, &cfg, race.child()))
+            })
+            .collect();
+        let stats = backends
+            .iter()
+            .map(|_| ArmStats {
+                plays: 0.0,
+                mean_reward: 0.0,
+                seen: false,
+            })
+            .collect();
+        Self::assemble(config, backends, cancel.clone(), race, arms, stats)
+    }
 
-    while !cancel.is_cancelled() && !found && spent < pool {
-        let alive: Vec<usize> = (0..arms.len()).filter(|&i| !lock(i).is_finished()).collect();
+    /// Shared tail of [`new`](Self::new) and [`restore`](Self::restore):
+    /// the scheduler parameters derived from the config.
+    fn assemble(
+        config: &AnalysisConfig,
+        backends: &[BackendKind],
+        cancel: CancelToken,
+        race: CancelToken,
+        arms: Vec<Mutex<SteppedAnalysis<'wd>>>,
+        stats: Vec<ArmStats>,
+    ) -> Self {
+        let coarse: Vec<bool> = arms
+            .iter()
+            .map(|arm| arm.lock().expect("adaptive arm lock").is_coarse())
+            .collect();
+        let rounds = config.rounds.max(1);
+        // The shared evaluation pool: ONE direct backend run's worth. A
+        // single-arm portfolio has nothing to reallocate and runs to
+        // natural completion instead (bit-identical to the direct driver
+        // run; a hard pool could cut the last round short, since local
+        // searches may overshoot a round budget by a bounded amount).
+        let pool = if backends.len() == 1 {
+            usize::MAX
+        } else {
+            rounds.saturating_mul(config.max_evals).max(1)
+        };
+        let base_slice = (config.max_evals / 8).max(64);
+        let probe_slice = (base_slice / PROBE_DIVISOR).max(16);
+        AdaptivePortfolio {
+            config: config.clone(),
+            backends: backends.to_vec(),
+            cancel,
+            race,
+            arms,
+            coarse,
+            stats,
+            pool,
+            base_slice,
+            probe_slice,
+            spent: 0,
+            found: false,
+            t: 0,
+            last_leader: None,
+        }
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, SteppedAnalysis<'wd>> {
+        self.arms[i].lock().expect("adaptive arm lock")
+    }
+
+    /// Runs one scheduler round — leader election, slice allocation,
+    /// parallel arm stepping over at most `workers` threads, statistics
+    /// fold — and returns `true`. Returns `false` without doing work
+    /// once the scheduler is done: cancellation observed, a zero found,
+    /// the pool spent, or every arm finished.
+    pub fn round(&mut self, workers: usize) -> bool {
+        if self.cancel.is_cancelled() || self.found || self.spent >= self.pool {
+            return false;
+        }
+        let alive: Vec<usize> = (0..self.arms.len())
+            .filter(|&i| !self.lock(i).is_finished())
+            .collect();
         if alive.is_empty() {
-            break;
+            return false;
         }
 
         // UCB1 scores on per-slice best-residual improvement: `plays`
@@ -371,6 +509,8 @@ pub fn minimize_weak_distance_adaptive_cancellable(
         // bonus on top of their probe-fed reward average. Never-led arms
         // go first; ties break by a seeded per-(round, arm) hash, so the
         // schedule is a pure function of (config, statistics).
+        let stats = &self.stats;
+        let t = self.t;
         let score = |i: usize| {
             if stats[i].plays == 0.0 {
                 f64::INFINITY
@@ -386,8 +526,9 @@ pub fn minimize_weak_distance_adaptive_cancellable(
         };
         let tiebreak = |i: usize| {
             derive_round_seed(
-                config.seed ^ TIEBREAK_SALT,
-                t.wrapping_mul(backends.len() as u64).wrapping_add(i as u64),
+                self.config.seed ^ TIEBREAK_SALT,
+                t.wrapping_mul(self.backends.len() as u64)
+                    .wrapping_add(i as u64),
             )
         };
         let leader = alive
@@ -401,35 +542,50 @@ pub fn minimize_weak_distance_adaptive_cancellable(
             .expect("alive is non-empty");
 
         // Reallocation: the leader gets a full slice, every other live
-        // arm a probe slice — except coarse arms (Powell), for which any
-        // slice costs a whole round: they only run when they lead (the
+        // arm a probe slice — except coarse arms, for which any slice
+        // costs a whole round: they only run when they lead (the
         // never-led bootstrap and the growing UCB bonus still get them
         // scheduled, just never as throwaway probes).
         let allocation: Vec<(usize, usize)> = alive
             .iter()
-            .filter(|&&i| i == leader || !coarse[i])
-            .map(|&i| (i, if i == leader { base_slice } else { probe_slice }))
+            .filter(|&&i| i == leader || !self.coarse[i])
+            .map(|&i| {
+                (
+                    i,
+                    if i == leader {
+                        self.base_slice
+                    } else {
+                        self.probe_slice
+                    },
+                )
+            })
             .collect();
 
         // The arms are independent state machines, so stepping them in
         // parallel and folding the statistics in arm order below is
         // bit-identical at any worker count.
         let outcomes = wdm_mo::scoped_map(
-            workers.min(allocation.len()),
+            workers.max(1).min(allocation.len()),
             allocation.len(),
             |k| {
                 let (i, slice) = allocation[k];
-                let mut arm = lock(i);
+                let mut arm = self.lock(i);
                 let evals_before = arm.evals();
                 let best_before = arm.best_value();
                 arm.step(slice);
-                (i, arm.evals() - evals_before, best_before, arm.best_value(), arm.found())
+                (
+                    i,
+                    arm.evals() - evals_before,
+                    best_before,
+                    arm.best_value(),
+                    arm.found(),
+                )
             },
         );
         for (i, delta_evals, before, after, arm_found) in outcomes {
-            spent += delta_evals;
+            self.spent += delta_evals;
             let reward = improvement(before, after);
-            let stat = &mut stats[i];
+            let stat = &mut self.stats[i];
             // Probe slices feed the reward average too; only leaderships
             // count as plays (see the score comment above).
             if i == leader {
@@ -441,41 +597,183 @@ pub fn minimize_weak_distance_adaptive_cancellable(
                 stat.mean_reward = reward;
                 stat.seen = true;
             }
-            found |= arm_found;
+            self.found |= arm_found;
         }
-        t += 1;
+        self.t += 1;
+        self.last_leader = Some(leader);
+        true
     }
 
-    // First-hit (and external) cancellation: fire the shared token and let
-    // every unfinished arm observe it at its next checkpoint — a
-    // deterministic, bounded amount of work per arm. One step is not
-    // always enough: a never-stepped arm's first slice can pause at the
-    // slice quantum right after its start phase, *before* reaching a
-    // cancellation check — but with the token fired, every further step
-    // finishes a round or the run, so this terminates in a few steps.
-    if found || cancel.is_cancelled() {
-        race.cancel();
-        for i in 0..arms.len() {
-            let mut arm = lock(i);
-            while !arm.is_finished() {
-                arm.step(1);
+    /// First-hit (and external) cancellation: fires the shared token
+    /// and lets every unfinished arm observe it at its next checkpoint
+    /// — a deterministic, bounded amount of work per arm. One step is
+    /// not always enough: a never-stepped arm's first slice can pause
+    /// at the slice quantum right after its start phase, *before*
+    /// reaching a cancellation check — but with the token fired, every
+    /// further step finishes a round or the run, so this terminates in
+    /// a few steps. A no-op when the scheduler stopped by spending its
+    /// pool. Call after [`round`](Self::round) returns `false`, before
+    /// [`into_run`](Self::into_run).
+    pub fn finalize(&mut self) {
+        if self.found || self.cancel.is_cancelled() {
+            self.race.cancel();
+            for i in 0..self.arms.len() {
+                let mut arm = self.lock(i);
+                while !arm.is_finished() {
+                    arm.step(1);
+                }
             }
         }
     }
 
-    let runs: Vec<MinimizationRun> = arms
-        .into_iter()
-        .map(|arm| arm.into_inner().expect("adaptive arm lock").run())
-        .collect();
-    let winner = pick_winner(&runs);
-    PortfolioRun {
-        winner,
-        entries: backends
-            .iter()
-            .zip(runs)
-            .map(|(&backend, run)| PortfolioEntry { backend, run })
-            .collect(),
+    /// Consumes the scheduler and reports every arm's run, winner
+    /// picked exactly as race mode picks it.
+    pub fn into_run(self) -> PortfolioRun {
+        let runs: Vec<MinimizationRun> = self
+            .arms
+            .into_iter()
+            .map(|arm| arm.into_inner().expect("adaptive arm lock").run())
+            .collect();
+        let winner = pick_winner(&runs);
+        PortfolioRun {
+            winner,
+            entries: self
+                .backends
+                .iter()
+                .zip(runs)
+                .map(|(&backend, run)| PortfolioEntry { backend, run })
+                .collect(),
+        }
     }
+
+    /// Whether the scheduler loop is over: [`round`](Self::round) would
+    /// return `false` without doing work.
+    pub fn is_done(&self) -> bool {
+        self.cancel.is_cancelled()
+            || self.found
+            || self.spent >= self.pool
+            || (0..self.arms.len()).all(|i| self.lock(i).is_finished())
+    }
+
+    /// Whether some arm has found a zero.
+    pub fn found(&self) -> bool {
+        self.found
+    }
+
+    /// Evaluations drawn from the shared pool so far (completed slices
+    /// only — an arm paused mid-slice is charged at the next fold).
+    pub fn evals_spent(&self) -> usize {
+        self.spent
+    }
+
+    /// Best weak-distance value across all arms, including paused ones
+    /// (`f64::INFINITY` before the first evaluation) — the residual a
+    /// progress stream reports.
+    pub fn best_value(&self) -> f64 {
+        (0..self.arms.len())
+            .map(|i| self.lock(i).best_value())
+            .fold(f64::INFINITY, |a, b| if b < a { b } else { a })
+    }
+
+    /// The most recent round's bandit leader, `None` before the first
+    /// round.
+    pub fn leader(&self) -> Option<BackendKind> {
+        self.last_leader.map(|i| self.backends[i])
+    }
+
+    /// The portfolio's backends, in arm order.
+    pub fn backends(&self) -> &[BackendKind] {
+        &self.backends
+    }
+
+    /// Snapshots the whole scheduler — every arm plus the bandit
+    /// statistics — for durable storage. Returns `None` if some paused
+    /// arm cannot checkpoint (see [`SteppedAnalysis::checkpoint`]).
+    pub fn checkpoint(&self) -> Option<AdaptiveCheckpoint> {
+        let mut arms = Vec::with_capacity(self.arms.len());
+        for i in 0..self.arms.len() {
+            arms.push(self.lock(i).checkpoint()?);
+        }
+        Some(AdaptiveCheckpoint {
+            arms,
+            stats: self
+                .stats
+                .iter()
+                .map(|s| ArmStatsCkpt {
+                    plays: s.plays.to_bits(),
+                    mean_reward: s.mean_reward.to_bits(),
+                    seen: s.seen,
+                })
+                .collect(),
+            spent: self.spent,
+            found: self.found,
+            t: self.t,
+            last_leader: self.last_leader,
+        })
+    }
+
+    /// Rebuilds a scheduler from a [`checkpoint`](Self::checkpoint).
+    /// `wd`, `config` and `backends` are re-supplied and must match the
+    /// checkpointed run; the arm count is validated, backend state tags
+    /// are validated per arm. `cancel` is a fresh external token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn restore(
+        wd: &'wd dyn WeakDistance,
+        config: &AnalysisConfig,
+        backends: &[BackendKind],
+        cancel: &CancelToken,
+        ckpt: &AdaptiveCheckpoint,
+    ) -> Option<Self> {
+        assert!(!backends.is_empty(), "portfolio needs at least one backend");
+        if ckpt.arms.len() != backends.len() || ckpt.stats.len() != backends.len() {
+            return None;
+        }
+        let race = cancel.child();
+        let mut arms = Vec::with_capacity(backends.len());
+        for (index, (&backend, a)) in backends.iter().zip(&ckpt.arms).enumerate() {
+            let cfg = arm_config(config, backend, index);
+            arms.push(Mutex::new(SteppedAnalysis::restore(
+                wd,
+                &cfg,
+                race.child(),
+                a,
+            )?));
+        }
+        let stats = ckpt
+            .stats
+            .iter()
+            .map(|s| ArmStats {
+                plays: f64::from_bits(s.plays),
+                mean_reward: f64::from_bits(s.mean_reward),
+                seen: s.seen,
+            })
+            .collect();
+        let mut portfolio = Self::assemble(config, backends, cancel.clone(), race, arms, stats);
+        portfolio.spent = ckpt.spent;
+        portfolio.found = ckpt.found;
+        portfolio.t = ckpt.t;
+        portfolio.last_leader = ckpt.last_leader;
+        Some(portfolio)
+    }
+}
+
+/// [`minimize_weak_distance_adaptive`] with an external cancellation
+/// token: the scheduler stops at the next round boundary once `cancel`
+/// fires, then lets every arm observe the cancellation.
+pub fn minimize_weak_distance_adaptive_cancellable(
+    wd: &dyn WeakDistance,
+    config: &AnalysisConfig,
+    backends: &[BackendKind],
+    cancel: &CancelToken,
+) -> PortfolioRun {
+    let mut portfolio = AdaptivePortfolio::new(wd, config, backends, cancel);
+    let workers = config.parallelism.max(1);
+    while portfolio.round(workers) {}
+    portfolio.finalize();
+    portfolio.into_run()
 }
 
 /// Adaptive portfolio mode (see the module docs): reallocates one run's
@@ -640,6 +938,144 @@ mod tests {
         for (a, b) in via_policy.entries.iter().zip(&direct.entries) {
             assert_eq!(a.run.outcome, b.run.outcome);
         }
+    }
+
+    #[test]
+    fn stepped_analysis_checkpoint_resume_is_invisible() {
+        for backend in BackendKind::all() {
+            let wd = wd_zero_free();
+            let config = AnalysisConfig::quick(17)
+                .with_backend(backend)
+                .with_rounds(2)
+                .with_max_evals(1_500)
+                .recording(2);
+            let mut straight = SteppedAnalysis::new(&wd, &config, CancelToken::new());
+            while !straight.step(300) {}
+            let mut resumed = SteppedAnalysis::new(&wd, &config, CancelToken::new());
+            loop {
+                let done = resumed.step(300);
+                // Serialize, drop, rebuild: the continuation must not
+                // notice the round trip.
+                let ckpt = resumed.checkpoint().expect("stepped backends checkpoint");
+                let text = serde_json::to_string(&ckpt).expect("render");
+                let back = serde_json::from_str(&text).expect("parse");
+                resumed = SteppedAnalysis::restore(&wd, &config, CancelToken::new(), &back)
+                    .expect("restore");
+                if done {
+                    break;
+                }
+            }
+            let a = straight.run();
+            let b = resumed.run();
+            assert_eq!(a.outcome, b.outcome, "{backend:?}");
+            assert_eq!(a.best, b.best, "{backend:?}");
+            assert_eq!(a.trace.samples(), b.trace.samples(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_portfolio_checkpoint_resume_is_invisible() {
+        let wd = wd_zero_free();
+        let config = AnalysisConfig::quick(19).with_rounds(2).with_max_evals(3_000);
+        let backends = BackendKind::all();
+        let reference = minimize_weak_distance_adaptive(&wd, &config, &backends);
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&wd, &config, &backends, &cancel);
+        loop {
+            let ran = portfolio.round(1);
+            let ckpt = portfolio.checkpoint().expect("stepped backends checkpoint");
+            let text = serde_json::to_string(&ckpt).expect("render");
+            let back: AdaptiveCheckpoint = serde_json::from_str(&text).expect("parse");
+            portfolio = AdaptivePortfolio::restore(&wd, &config, &backends, &cancel, &back)
+                .expect("restore");
+            if !ran {
+                break;
+            }
+        }
+        portfolio.finalize();
+        let run = portfolio.into_run();
+        assert_eq!(run.winner, reference.winner);
+        for (a, b) in run.entries.iter().zip(&reference.entries) {
+            assert_eq!(a.backend, b.backend);
+            assert_eq!(a.run.outcome, b.run.outcome, "{:?}", a.backend);
+            assert_eq!(a.run.best, b.run.best, "{:?}", a.backend);
+        }
+    }
+
+    #[test]
+    fn adaptive_portfolio_checkpoint_resume_with_early_hit() {
+        // A findable zero: the resume path must also reproduce the
+        // first-hit cancellation fan-out exactly.
+        let wd = wd_two_zeros();
+        let config = AnalysisConfig::quick(2).with_rounds(2);
+        let backends = BackendKind::all();
+        let reference = minimize_weak_distance_adaptive(&wd, &config, &backends);
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&wd, &config, &backends, &cancel);
+        while portfolio.round(1) {
+            let ckpt = portfolio.checkpoint().expect("stepped backends checkpoint");
+            portfolio =
+                AdaptivePortfolio::restore(&wd, &config, &backends, &cancel, &ckpt)
+                    .expect("restore");
+        }
+        portfolio.finalize();
+        let run = portfolio.into_run();
+        assert_eq!(run.winner, reference.winner);
+        for (a, b) in run.entries.iter().zip(&reference.entries) {
+            assert_eq!(a.run.outcome, b.run.outcome, "{:?}", a.backend);
+            assert_eq!(a.run.best, b.run.best, "{:?}", a.backend);
+        }
+        assert!(run.entries[run.winner].run.outcome.is_found());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_backend_lists() {
+        let wd = wd_zero_free();
+        let config = AnalysisConfig::quick(3).with_rounds(1).with_max_evals(500);
+        let backends = [BackendKind::RandomSearch, BackendKind::BasinHopping];
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&wd, &config, &backends, &cancel);
+        portfolio.round(1);
+        let ckpt = portfolio.checkpoint().expect("checkpointable");
+        // Wrong arm count.
+        assert!(AdaptivePortfolio::restore(
+            &wd,
+            &config,
+            &[BackendKind::RandomSearch],
+            &cancel,
+            &ckpt
+        )
+        .is_none());
+        // Right count, wrong backend in slot 0: the state tag mismatch
+        // is caught by the backend restore.
+        assert!(AdaptivePortfolio::restore(
+            &wd,
+            &config,
+            &[BackendKind::DifferentialEvolution, BackendKind::BasinHopping],
+            &cancel,
+            &ckpt
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn progress_accessors_report_scheduler_state() {
+        let wd = wd_zero_free();
+        let config = AnalysisConfig::quick(23).with_rounds(2).with_max_evals(2_000);
+        let backends = [BackendKind::RandomSearch, BackendKind::BasinHopping];
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&wd, &config, &backends, &cancel);
+        assert!(portfolio.leader().is_none());
+        assert_eq!(portfolio.evals_spent(), 0);
+        assert!(!portfolio.is_done());
+        assert!(portfolio.round(1));
+        assert!(portfolio.leader().is_some());
+        assert!(portfolio.evals_spent() > 0);
+        assert!(portfolio.best_value().is_finite());
+        assert_eq!(portfolio.backends(), &backends);
+        while portfolio.round(1) {}
+        assert!(portfolio.is_done());
+        assert!(!portfolio.found());
     }
 
     #[test]

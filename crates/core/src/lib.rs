@@ -44,6 +44,7 @@
 
 pub mod adaptive;
 pub mod boundary;
+pub mod checkpoint;
 pub mod coverage;
 pub mod driver;
 pub mod inconsistency;
@@ -51,7 +52,11 @@ pub mod overflow;
 pub mod path;
 pub mod weak_distance;
 
-pub use adaptive::{minimize_weak_distance_adaptive, SteppedAnalysis};
+pub use adaptive::{
+    minimize_weak_distance_adaptive, minimize_weak_distance_adaptive_cancellable,
+    AdaptivePortfolio, SteppedAnalysis,
+};
+pub use checkpoint::{AdaptiveCheckpoint, AnalysisCheckpoint};
 pub use driver::{
     derive_round_seed, minimize_weak_distance, minimize_weak_distance_cancellable,
     minimize_weak_distance_portfolio, statically_pruned_run, AnalysisConfig, BackendKind,

@@ -10,10 +10,10 @@
 //! after how many evaluations) is bit-identical for every thread count —
 //! only the timing fields change.
 
-use crate::pool::WorkerPool;
 use serde::Serialize;
 use std::sync::mpsc;
 use std::time::Instant;
+use wdm_service::{AnalysisService, ServiceConfig, ServiceHandle};
 use wdm_core::boundary::{BoundaryAnalysis, BoundaryWeakDistance};
 use wdm_core::driver::{derive_round_seed, minimize_weak_distance_portfolio};
 use wdm_core::overflow::OverflowDetector;
@@ -76,6 +76,58 @@ impl CampaignReport {
     /// determinism tests and the speedup experiment assert.
     pub fn deterministic_results(&self) -> Vec<JobResult> {
         self.jobs.iter().map(|j| j.result.clone()).collect()
+    }
+
+    /// Reduces a job list (in its given order) into a report.
+    fn reduced(threads: usize, wall_seconds: f64, jobs: Vec<JobReport>) -> CampaignReport {
+        let cpu_seconds = jobs.iter().map(|j| j.seconds).sum();
+        let total_evals = jobs.iter().map(|j| j.result.evals).sum();
+        let jobs_fully_solved = jobs
+            .iter()
+            .filter(|j| j.result.found == j.result.total)
+            .count();
+        CampaignReport {
+            threads,
+            wall_seconds,
+            cpu_seconds,
+            total_evals,
+            jobs_fully_solved,
+            jobs,
+        }
+    }
+
+    /// Combines two reports — e.g. shards of one suite run on different
+    /// machines, or a suite report with a follow-up rerun — into one.
+    ///
+    /// Merging is associative and order-insensitive: the combined job
+    /// list is sorted by job name and every aggregate (including the
+    /// floating-point `cpu_seconds` sum, whose summation order is the
+    /// sorted job order) is recomputed from it, while `threads` and
+    /// `wall_seconds` take the maximum. Any parenthesization of any
+    /// permutation of the same reports therefore serializes to the
+    /// identical JSON, which the campaign property tests pin down.
+    pub fn merge(self, other: CampaignReport) -> CampaignReport {
+        let threads = self.threads.max(other.threads);
+        let wall_seconds = self.wall_seconds.max(other.wall_seconds);
+        let mut jobs: Vec<JobReport> = self.jobs;
+        jobs.extend(other.jobs);
+        // The key is total over every field (floats by bit pattern), so
+        // even reports with duplicate job names merge commutatively.
+        let key = |j: &JobReport| {
+            (
+                j.result.job.clone(),
+                j.result.analysis.clone(),
+                j.result.program.clone(),
+                j.result.found,
+                j.result.total,
+                j.result.best_value.to_bits(),
+                j.result.evals,
+                j.result.static_pruned,
+                j.seconds.to_bits(),
+            )
+        };
+        jobs.sort_by_key(key);
+        CampaignReport::reduced(threads, wall_seconds, jobs)
     }
 }
 
@@ -149,14 +201,28 @@ impl Campaign {
         self.jobs.iter().map(|j| j.name()).collect()
     }
 
-    /// Runs every job on a pool of `threads` workers and reduces the
-    /// results into one report (jobs ordered as submitted).
+    /// Runs every job on a private, short-lived analysis service of
+    /// `threads` workers and reduces the results into one report (jobs
+    /// ordered as submitted). Campaign mode is "submit suite, await
+    /// report": to batch onto a shared long-running service instead,
+    /// use [`Campaign::run_on`].
     pub fn run(self, threads: usize) -> CampaignReport {
+        let service = AnalysisService::start(ServiceConfig::new(threads.max(1)));
+        let report = self.run_on(&service.handle());
+        service.shutdown();
+        report
+    }
+
+    /// Submits every job to an already-running analysis service and
+    /// blocks until the reduced report is in. Campaign jobs are opaque
+    /// closures, so they ride the service's task lane: they run FIFO on
+    /// the shared pool, interleaved with (but invisible to) the
+    /// fair-share analysis tenants.
+    pub fn run_on(self, handle: &ServiceHandle) -> CampaignReport {
         let started = Instant::now();
-        let threads = threads.max(1);
+        let threads = handle.threads();
         let n = self.jobs.len();
         let (sender, receiver) = mpsc::channel::<(usize, JobReport)>();
-        let pool = WorkerPool::new(threads);
         for (index, job) in self.jobs.into_iter().enumerate() {
             let sender = sender.clone();
             // Per-job seed: decorrelated, independent of scheduling.
@@ -164,17 +230,19 @@ impl Campaign {
                 seed: derive_round_seed(self.config.seed, 0x00C0_FFEE_0000_0000 | index as u64),
                 ..self.config.clone()
             };
-            pool.submit(move || {
-                let job_started = Instant::now();
-                let result = (job.run)(&config);
-                let report = JobReport {
-                    result,
-                    seconds: job_started.elapsed().as_secs_f64(),
-                };
-                // The receiver only disappears if the campaign itself
-                // panicked; nothing useful to do with the result then.
-                let _ = sender.send((index, report));
-            });
+            handle
+                .submit_task(move || {
+                    let job_started = Instant::now();
+                    let result = (job.run)(&config);
+                    let report = JobReport {
+                        result,
+                        seconds: job_started.elapsed().as_secs_f64(),
+                    };
+                    // The receiver only disappears if the campaign itself
+                    // panicked; nothing useful to do with the result then.
+                    let _ = sender.send((index, report));
+                })
+                .expect("analysis service accepts campaign jobs");
         }
         drop(sender);
 
@@ -182,26 +250,12 @@ impl Campaign {
         for (index, report) in receiver.iter() {
             slots[index] = Some(report);
         }
-        drop(pool);
 
         let jobs: Vec<JobReport> = slots
             .into_iter()
             .map(|s| s.expect("every job reports exactly once"))
             .collect();
-        let cpu_seconds = jobs.iter().map(|j| j.seconds).sum();
-        let total_evals = jobs.iter().map(|j| j.result.evals).sum();
-        let jobs_fully_solved = jobs
-            .iter()
-            .filter(|j| j.result.found == j.result.total)
-            .count();
-        CampaignReport {
-            threads,
-            wall_seconds: started.elapsed().as_secs_f64(),
-            cpu_seconds,
-            total_evals,
-            jobs_fully_solved,
-            jobs,
-        }
+        CampaignReport::reduced(threads, started.elapsed().as_secs_f64(), jobs)
     }
 }
 

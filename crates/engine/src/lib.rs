@@ -51,7 +51,6 @@
 pub mod adaptive;
 pub mod batch;
 pub mod campaign;
-pub mod pool;
 pub mod portfolio;
 pub mod threads;
 
@@ -60,11 +59,10 @@ pub use batch::PooledObjective;
 pub use campaign::{
     gsl_portfolio_suite, gsl_suite, Campaign, CampaignJob, CampaignReport, JobReport, JobResult,
 };
-pub use pool::WorkerPool;
 pub use portfolio::{minimize_weak_distance_portfolio, race_all, PortfolioEntry, PortfolioRun};
 pub use threads::suggested_parallelism;
 
 // Re-exported so engine users have the whole parallel surface in one place.
 pub use wdm_core::driver::derive_round_seed;
 pub use wdm_core::{AnalysisConfig, BackendKind, PortfolioPolicy};
-pub use wdm_mo::{scoped_map, CancelToken};
+pub use wdm_mo::{scoped_map, CancelToken, WorkerPool};

@@ -13,6 +13,7 @@
 //! the paper treats the backend as a black box — and is documented here for
 //! reproducibility.
 
+use crate::checkpoint::{BhCkpt, ResultCkpt, RngCkpt, StepCheckpoint};
 use crate::evaluator::Evaluator;
 use crate::nelder_mead::NelderMead;
 use crate::result::{MinimizeResult, Termination};
@@ -350,6 +351,18 @@ impl MinimizerStep for BasinHoppingStep {
             ),
         }
     }
+
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        Some(StepCheckpoint::BasinHopping(BhCkpt {
+            rng: RngCkpt::of(&self.rng),
+            started: self.started,
+            hop: self.hop,
+            current: self.current.as_ref().map(ResultCkpt::of),
+            best: self.best.as_ref().map(ResultCkpt::of),
+            total_evals: self.total_evals,
+            finished: self.finished.as_ref().map(ResultCkpt::of),
+        }))
+    }
 }
 
 impl SteppedMinimizer for BasinHopping {
@@ -365,6 +378,27 @@ impl SteppedMinimizer for BasinHopping {
             total_evals: 0,
             finished: crate::reject_invalid(problem),
         })
+    }
+
+    fn restore(
+        &self,
+        problem: &Problem<'_>,
+        checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        let StepCheckpoint::BasinHopping(c) = checkpoint else {
+            return None;
+        };
+        Some(Box::new(BasinHoppingStep {
+            cfg: self.clone(),
+            dim: problem.objective.dim(),
+            rng: c.rng.restore()?,
+            started: c.started,
+            hop: c.hop,
+            current: c.current.as_ref().map(ResultCkpt::restore),
+            best: c.best.as_ref().map(ResultCkpt::restore),
+            total_evals: c.total_evals,
+            finished: c.finished.as_ref().map(ResultCkpt::restore),
+        }))
     }
 }
 

@@ -18,6 +18,7 @@
 //! propagates NaN, so clamping alone would silently leave the component
 //! broken.
 
+use crate::checkpoint::{bits_of, floats_of, DeCkpt, ResultCkpt, RngCkpt, StepCheckpoint};
 use crate::evaluator::{Evaluator, EvaluatorState};
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
@@ -257,6 +258,18 @@ impl MinimizerStep for DiffEvoStep {
         let (x, value) = self.ev.best();
         MinimizeResult::new(x, value, self.ev.evals(), Termination::BudgetExhausted)
     }
+
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        Some(StepCheckpoint::DiffEvo(DeCkpt {
+            rng: RngCkpt::of(&self.rng),
+            ev: self.ev.checkpoint(),
+            pop: self.pop.iter().map(|m| bits_of(m)).collect(),
+            values: self.values.iter().map(|v| v.to_bits()).collect(),
+            generation: self.generation,
+            initialized: self.initialized,
+            finished: self.finished.as_ref().map(ResultCkpt::of),
+        }))
+    }
 }
 
 impl SteppedMinimizer for DifferentialEvolution {
@@ -284,6 +297,29 @@ impl SteppedMinimizer for DifferentialEvolution {
             initialized: false,
             finished,
         })
+    }
+
+    fn restore(
+        &self,
+        problem: &Problem<'_>,
+        checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        let StepCheckpoint::DiffEvo(c) = checkpoint else {
+            return None;
+        };
+        let dim = problem.objective.dim();
+        Some(Box::new(DiffEvoStep {
+            cfg: self.clone(),
+            dim,
+            np: self.effective_population(dim),
+            rng: c.rng.restore()?,
+            ev: EvaluatorState::from_checkpoint(&c.ev),
+            pop: c.pop.iter().map(|m| floats_of(m)).collect(),
+            values: c.values.iter().map(|&v| f64::from_bits(v)).collect(),
+            generation: c.generation,
+            initialized: c.initialized,
+            finished: c.finished.as_ref().map(ResultCkpt::restore),
+        }))
     }
 }
 

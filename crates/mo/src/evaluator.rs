@@ -63,6 +63,30 @@ impl EvaluatorState {
     pub fn best(&self) -> (Vec<f64>, f64) {
         (self.best_x.clone(), self.best_value)
     }
+
+    /// Serializable snapshot of this state (floats as raw bit patterns, so
+    /// NaN incumbents and signed zeros survive the JSON round trip).
+    pub fn checkpoint(&self) -> crate::checkpoint::EvalCkpt {
+        crate::checkpoint::EvalCkpt {
+            evals: self.evals,
+            best_x: crate::checkpoint::bits_of(&self.best_x),
+            best_value: self.best_value.to_bits(),
+            has_best: self.has_best,
+            target_hit: self.target_hit,
+        }
+    }
+
+    /// Rebuilds a state from a [`checkpoint`](EvaluatorState::checkpoint)
+    /// snapshot, bit-exactly.
+    pub fn from_checkpoint(ckpt: &crate::checkpoint::EvalCkpt) -> Self {
+        EvaluatorState {
+            evals: ckpt.evals,
+            best_x: crate::checkpoint::floats_of(&ckpt.best_x),
+            best_value: f64::from_bits(ckpt.best_value),
+            has_best: ckpt.has_best,
+            target_hit: ckpt.target_hit,
+        }
+    }
 }
 
 /// Tracks evaluations for one backend run.

@@ -47,12 +47,14 @@ pub mod basinhopping;
 pub mod bounds;
 pub mod brent;
 pub mod cancel;
+pub mod checkpoint;
 pub mod diffevo;
 pub mod evaluator;
 pub mod multistart;
 pub mod nelder_mead;
 pub mod objective;
 pub mod parallel;
+pub mod pool;
 pub mod powell;
 pub mod random_search;
 pub mod result;
@@ -64,12 +66,14 @@ pub mod ulp;
 pub use basinhopping::BasinHopping;
 pub use bounds::Bounds;
 pub use cancel::CancelToken;
+pub use checkpoint::StepCheckpoint;
 pub use diffevo::DifferentialEvolution;
 pub use evaluator::Evaluator;
 pub use multistart::MultiStart;
 pub use nelder_mead::NelderMead;
 pub use objective::{CountingObjective, FnObjective, Objective};
 pub use parallel::scoped_map;
+pub use pool::WorkerPool;
 pub use powell::Powell;
 pub use random_search::RandomSearch;
 pub use result::{MinimizeResult, Termination};

@@ -6,6 +6,7 @@
 //! driver shape of Algorithm 3, which launches the backend from a fresh
 //! random starting point in every round.
 
+use crate::checkpoint::{bits_of, floats_of, MsCkpt, ResultCkpt, StepCheckpoint};
 use crate::nelder_mead::NelderMead;
 use crate::powell::Powell;
 use crate::result::{MinimizeResult, Termination};
@@ -178,6 +179,16 @@ impl MinimizerStep for MultiStartStep {
         result.termination = Termination::BudgetExhausted;
         result
     }
+
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        Some(StepCheckpoint::MultiStart(MsCkpt {
+            starts: self.starts.iter().map(|s| bits_of(s)).collect(),
+            next: self.next,
+            best: self.best.as_ref().map(ResultCkpt::of),
+            total_evals: self.total_evals,
+            finished: self.finished.as_ref().map(ResultCkpt::of),
+        }))
+    }
 }
 
 impl SteppedMinimizer for MultiStart {
@@ -205,6 +216,25 @@ impl SteppedMinimizer for MultiStart {
             total_evals: 0,
             finished,
         })
+    }
+
+    fn restore(
+        &self,
+        problem: &Problem<'_>,
+        checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        let StepCheckpoint::MultiStart(c) = checkpoint else {
+            return None;
+        };
+        Some(Box::new(MultiStartStep {
+            cfg: self.clone(),
+            dim: problem.objective.dim(),
+            starts: c.starts.iter().map(|s| floats_of(s)).collect(),
+            next: c.next,
+            best: c.best.as_ref().map(ResultCkpt::restore),
+            total_evals: c.total_evals,
+            finished: c.finished.as_ref().map(ResultCkpt::restore),
+        }))
     }
 }
 

@@ -6,10 +6,11 @@
 //! here — weak-distance jobs run for milliseconds to seconds, so queue
 //! contention is unmeasurable.
 //!
-//! This is the persistent-pool shape used by campaign mode. The one-shot
-//! sibling — "run `n` indexed jobs over `k` threads, results in index
-//! order" — is [`wdm_mo::scoped_map`], shared by every parallel path in
-//! the workspace and re-exported from this crate.
+//! This is the persistent-pool shape shared by campaign mode and the
+//! multi-tenant analysis service (`wdm_service`), which is why it lives in
+//! this base crate. The one-shot sibling — "run `n` indexed jobs over `k`
+//! threads, results in index order" — is [`crate::scoped_map`], shared by
+//! every parallel path in the workspace.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -35,7 +36,7 @@ struct QueueState {
 /// ```
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 /// use std::sync::Arc;
-/// use wdm_engine::WorkerPool;
+/// use wdm_mo::WorkerPool;
 ///
 /// let done = Arc::new(AtomicUsize::new(0));
 /// let pool = WorkerPool::new(4);

@@ -4,11 +4,22 @@
 //! derivative-free search that repeatedly performs one-dimensional
 //! minimizations (here via [`brent`](crate::brent)) along an evolving set of
 //! directions (Powell 1964).
+//!
+//! Powell is a *true stepped backend*: the run suspends between outer
+//! conjugate-direction iterations ([`PowellStep`] is private; see
+//! [`SteppedMinimizer`]), carrying the evolving direction set, the current
+//! point and the evaluator bookkeeping across slices. Sliced execution is
+//! bit-identical to the unsliced run — both the local
+//! ([`LocalMinimizer::minimize_from`]) and global interfaces drive the same
+//! state machine — which gives the fair-share scheduler real granularity on
+//! Powell-heavy jobs instead of the former whole-run coarse slices.
 
 use crate::brent::line_minimize;
-use crate::evaluator::Evaluator;
+use crate::checkpoint::{bits_of, floats_of, PwCkpt, ResultCkpt, StepCheckpoint};
+use crate::evaluator::{Evaluator, EvaluatorState};
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
+use crate::stepped::{MinimizerStep, StepStatus, SteppedMinimizer};
 use crate::{GlobalMinimizer, LocalMinimizer, Problem};
 
 /// Configuration of Powell's method.
@@ -71,36 +82,112 @@ impl Powell {
         (best, m.value)
     }
 
-    fn run(&self, ev: &mut Evaluator<'_, '_>, x0: &[f64]) -> (Vec<f64>, f64) {
+}
+
+/// The resumable state of one Powell run: the evolving direction set, the
+/// current point/value, the outer-iteration counter and the evaluator
+/// bookkeeping. The run pauses *between outer conjugate-direction
+/// iterations* — an iteration's chain of line searches shares bracketing
+/// state that cannot be split without changing the evaluation sequence, so
+/// the iteration boundary is the finest safe checkpoint.
+struct PowellStep {
+    cfg: Powell,
+    started: bool,
+    dirs: Vec<Vec<f64>>,
+    x: Vec<f64>,
+    fx: f64,
+    iter: usize,
+    ev: EvaluatorState,
+    finished: Option<MinimizeResult>,
+}
+
+impl PowellStep {
+    /// Captures the initial state of a run from the explicit start point
+    /// `x0` (the local interface; the global interface samples `x0` from
+    /// the seed first). No objective evaluation happens here.
+    fn from_x0(cfg: Powell, problem: &Problem<'_>, x0: Vec<f64>) -> Self {
         let n = x0.len();
         // Initial directions: the coordinate axes, scaled to the magnitude of
         // the starting point so that huge-magnitude coordinates can move.
-        let mut dirs: Vec<Vec<f64>> = (0..n)
+        let dirs: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let mut d = vec![0.0; n];
                 d[i] = if x0[i].abs() > 1.0 { x0[i].abs() * 0.1 } else { 1.0 };
                 d
             })
             .collect();
-        let mut x = x0.to_vec();
-        let mut fx = ev.eval(&x);
+        PowellStep {
+            cfg,
+            started: false,
+            dirs,
+            x: x0,
+            fx: f64::NAN,
+            iter: 0,
+            ev: EvaluatorState::fresh(problem.objective.dim()),
+            finished: crate::reject_invalid(problem),
+        }
+    }
 
-        for _ in 0..self.max_iters {
-            if ev.should_stop() {
-                break;
+    fn finish(&mut self, ev: Evaluator<'_, '_>) -> StepStatus {
+        let termination = ev.termination(Termination::Converged);
+        let (bx, bv) = ev.best();
+        let (x, value) = if bv < self.fx {
+            (bx, bv)
+        } else {
+            (self.x.clone(), self.fx)
+        };
+        self.finished = Some(MinimizeResult::new(x, value, ev.evals(), termination));
+        self.ev = ev.suspend();
+        StepStatus::Finished
+    }
+}
+
+impl MinimizerStep for PowellStep {
+    fn step(
+        &mut self,
+        problem: &Problem<'_>,
+        slice: usize,
+        sink: &mut dyn SampleSink,
+    ) -> StepStatus {
+        if self.finished.is_some() {
+            return StepStatus::Finished;
+        }
+        let slice = slice.max(1);
+        // Hand the state to the evaluator by move; every exit path below
+        // suspends it back.
+        let state = std::mem::replace(&mut self.ev, EvaluatorState::fresh(0));
+        let mut ev = Evaluator::resume(problem, sink, state);
+        let slice_start = ev.evals();
+
+        if !self.started {
+            self.fx = ev.eval(&self.x);
+            self.started = true;
+        }
+
+        loop {
+            if self.iter >= self.cfg.max_iters {
+                return self.finish(ev);
             }
-            let f_start = fx;
-            let x_start = x.clone();
+            if ev.should_stop() {
+                return self.finish(ev);
+            }
+            if ev.evals() - slice_start >= slice {
+                self.ev = ev.suspend();
+                return StepStatus::Paused;
+            }
+            self.iter += 1;
+            let f_start = self.fx;
+            let x_start = self.x.clone();
             let mut biggest_drop = 0.0;
             let mut biggest_dir = 0;
-            for (i, dir) in dirs.iter().enumerate() {
-                let f_before = fx;
-                let (nx, nf) = self.line_search(ev, &x, dir);
-                if nf < fx {
-                    x = nx;
-                    fx = nf;
+            for i in 0..self.dirs.len() {
+                let f_before = self.fx;
+                let (nx, nf) = self.cfg.line_search(&mut ev, &self.x, &self.dirs[i]);
+                if nf < self.fx {
+                    self.x = nx;
+                    self.fx = nf;
                 }
-                let drop = f_before - fx;
+                let drop = f_before - self.fx;
                 if drop > biggest_drop {
                     biggest_drop = drop;
                     biggest_dir = i;
@@ -110,32 +197,59 @@ impl Powell {
                 }
             }
             if ev.should_stop() {
-                break;
+                return self.finish(ev);
             }
-            let decrease = f_start - fx;
-            if !decrease.is_finite() || decrease.abs() <= self.f_tol * (f_start.abs() + self.f_tol)
+            let decrease = f_start - self.fx;
+            if !decrease.is_finite()
+                || decrease.abs() <= self.cfg.f_tol * (f_start.abs() + self.cfg.f_tol)
             {
-                break;
+                return self.finish(ev);
             }
             // Powell's update: replace the direction of largest decrease with
             // the overall displacement of this iteration.
-            let displacement: Vec<f64> = x.iter().zip(&x_start).map(|(a, b)| a - b).collect();
+            let displacement: Vec<f64> = self.x.iter().zip(&x_start).map(|(a, b)| a - b).collect();
             if displacement.iter().any(|d| *d != 0.0) {
-                let (nx, nf) = self.line_search(ev, &x, &displacement);
-                if nf < fx {
-                    x = nx;
-                    fx = nf;
+                let (nx, nf) = self.cfg.line_search(&mut ev, &self.x, &displacement);
+                if nf < self.fx {
+                    self.x = nx;
+                    self.fx = nf;
                 }
-                dirs.remove(biggest_dir);
-                dirs.push(displacement);
+                self.dirs.remove(biggest_dir);
+                self.dirs.push(displacement);
             }
         }
-        let (bx, bv) = ev.best();
-        if bv < fx {
-            (bx, bv)
-        } else {
-            (x, fx)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    fn evals(&self) -> usize {
+        self.ev.evals()
+    }
+
+    fn best_value(&self) -> f64 {
+        self.ev.best_value()
+    }
+
+    fn result(&self) -> MinimizeResult {
+        if let Some(result) = &self.finished {
+            return result.clone();
         }
+        let (x, value) = self.ev.best();
+        MinimizeResult::new(x, value, self.ev.evals(), Termination::BudgetExhausted)
+    }
+
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        Some(StepCheckpoint::Powell(PwCkpt {
+            started: self.started,
+            dirs: self.dirs.iter().map(|d| bits_of(d)).collect(),
+            x: bits_of(&self.x),
+            fx: self.fx.to_bits(),
+            iter: self.iter,
+            ev: self.ev.checkpoint(),
+            finished: self.finished.as_ref().map(ResultCkpt::of),
+        }))
     }
 }
 
@@ -157,10 +271,43 @@ impl LocalMinimizer for Powell {
             max_evals: max_evals.min(problem.max_evals),
             cancel: problem.cancel.clone(),
         };
-        let mut ev = Evaluator::new(&capped, sink);
-        let (x, value) = self.run(&mut ev, x0);
-        let termination = ev.termination(Termination::Converged);
-        MinimizeResult::new(x, value, ev.evals(), termination)
+        // One implementation for both interfaces: the local path drives the
+        // same state machine the stepped path slices, in a single
+        // whole-budget slice.
+        let mut run = PowellStep::from_x0(self.clone(), &capped, x0.to_vec());
+        while run.step(&capped, usize::MAX, sink) == StepStatus::Paused {}
+        run.result()
+    }
+}
+
+impl SteppedMinimizer for Powell {
+    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
+        // Powell is a local method; as a "global" backend it starts from a
+        // random point in the bounds (this mirrors how the paper applies the
+        // SciPy Powell backend directly to the weak distance).
+        let mut rng = crate::rng_from_seed(seed);
+        let x0 = problem.bounds.sample(&mut rng);
+        Box::new(PowellStep::from_x0(self.clone(), problem, x0))
+    }
+
+    fn restore(
+        &self,
+        _problem: &Problem<'_>,
+        checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        let StepCheckpoint::Powell(c) = checkpoint else {
+            return None;
+        };
+        Some(Box::new(PowellStep {
+            cfg: self.clone(),
+            started: c.started,
+            dirs: c.dirs.iter().map(|d| floats_of(d)).collect(),
+            x: floats_of(&c.x),
+            fx: f64::from_bits(c.fx),
+            iter: c.iter,
+            ev: EvaluatorState::from_checkpoint(&c.ev),
+            finished: c.finished.as_ref().map(ResultCkpt::restore),
+        }))
     }
 }
 
@@ -171,12 +318,7 @@ impl GlobalMinimizer for Powell {
         seed: u64,
         sink: &mut dyn SampleSink,
     ) -> MinimizeResult {
-        // Powell is a local method; as a "global" backend it starts from a
-        // random point in the bounds (this mirrors how the paper applies the
-        // SciPy Powell backend directly to the weak distance).
-        let mut rng = crate::rng_from_seed(seed);
-        let x0 = problem.bounds.sample(&mut rng);
-        self.minimize_from(problem, &x0, problem.max_evals, sink)
+        crate::stepped::drive(self, problem, seed, sink)
     }
 
     fn backend_name(&self) -> &'static str {

@@ -6,6 +6,7 @@
 //! random testing". Having the baseline available lets the ablation bench
 //! quantify exactly that degeneration.
 
+use crate::checkpoint::{ResultCkpt, RngCkpt, RsCkpt, StepCheckpoint};
 use crate::evaluator::{Evaluator, EvaluatorState};
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
@@ -120,6 +121,16 @@ impl MinimizerStep for RandomSearchStep {
         let (x, value) = self.ev.best();
         MinimizeResult::new(x, value, self.ev.evals(), Termination::BudgetExhausted)
     }
+
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        Some(StepCheckpoint::RandomSearch(RsCkpt {
+            rng: RngCkpt::of(&self.rng),
+            ev: self.ev.checkpoint(),
+            limit: self.limit,
+            done: self.done,
+            finished: self.finished.as_ref().map(ResultCkpt::of),
+        }))
+    }
 }
 
 impl SteppedMinimizer for RandomSearch {
@@ -137,6 +148,23 @@ impl SteppedMinimizer for RandomSearch {
             done: 0,
             finished,
         })
+    }
+
+    fn restore(
+        &self,
+        _problem: &Problem<'_>,
+        checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        let StepCheckpoint::RandomSearch(c) = checkpoint else {
+            return None;
+        };
+        Some(Box::new(RandomSearchStep {
+            rng: c.rng.restore()?,
+            ev: EvaluatorState::from_checkpoint(&c.ev),
+            limit: c.limit,
+            done: c.done,
+            finished: c.finished.as_ref().map(ResultCkpt::restore),
+        }))
     }
 }
 

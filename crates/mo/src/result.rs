@@ -1,9 +1,10 @@
 //! Results returned by minimization backends.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a minimization run stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Termination {
     /// The target value (typically 0 for a weak distance) was reached.
     TargetReached,

@@ -140,6 +140,41 @@ impl SamplingTrace {
             .filter(|s| !s.value.is_nan())
             .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap())
     }
+
+    /// Serializable snapshot of this trace (floats as raw bit patterns).
+    pub fn checkpoint(&self) -> crate::checkpoint::TraceCkpt {
+        crate::checkpoint::TraceCkpt {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| crate::checkpoint::SampleCkpt {
+                    index: s.index,
+                    x: crate::checkpoint::bits_of(&s.x),
+                    value: s.value.to_bits(),
+                })
+                .collect(),
+            stride: self.stride,
+            recorded_total: self.recorded_total,
+        }
+    }
+
+    /// Rebuilds a trace from a [`checkpoint`](SamplingTrace::checkpoint)
+    /// snapshot, bit-exactly.
+    pub fn from_checkpoint(ckpt: &crate::checkpoint::TraceCkpt) -> Self {
+        SamplingTrace {
+            samples: ckpt
+                .samples
+                .iter()
+                .map(|s| Sample {
+                    index: s.index,
+                    x: crate::checkpoint::floats_of(&s.x),
+                    value: f64::from_bits(s.value),
+                })
+                .collect(),
+            stride: ckpt.stride.max(1),
+            recorded_total: ckpt.recorded_total,
+        }
+    }
 }
 
 impl SampleSink for SamplingTrace {

@@ -31,6 +31,7 @@
 //! the *actual* evaluations consumed ([`MinimizerStep::evals`]), which may
 //! overshoot the slice by one checkpoint.
 
+use crate::checkpoint::StepCheckpoint;
 use crate::result::{MinimizeResult, Termination};
 use crate::sampling::SampleSink;
 use crate::{GlobalMinimizer, Problem};
@@ -77,6 +78,15 @@ pub trait MinimizerStep: Send {
     /// snapshot of the incumbent with [`Termination::BudgetExhausted`]
     /// (the caller withdrew the budget).
     fn result(&self) -> MinimizeResult;
+
+    /// Serializable snapshot of the paused run, restorable through
+    /// [`SteppedMinimizer::restore`] on the same backend instance over the
+    /// same problem. Stepping the restored run is bit-identical to stepping
+    /// this one. `None` for steps without checkpoint support (the coarse
+    /// wrapper), which the service treats as non-durable.
+    fn checkpoint(&self) -> Option<StepCheckpoint> {
+        None
+    }
 }
 
 /// A backend whose runs can be sliced and resumed.
@@ -94,10 +104,23 @@ pub trait SteppedMinimizer: GlobalMinimizer {
     fn is_coarse(&self) -> bool {
         false
     }
+
+    /// Rebuilds a paused run from a [`MinimizerStep::checkpoint`] snapshot
+    /// taken by this backend over the same problem; the backend instance
+    /// re-supplies the configuration the snapshot deliberately omits.
+    /// `None` when the snapshot belongs to a different backend (or the
+    /// backend has no checkpoint support).
+    fn restore(
+        &self,
+        _problem: &Problem<'_>,
+        _checkpoint: &StepCheckpoint,
+    ) -> Option<Box<dyn MinimizerStep>> {
+        None
+    }
 }
 
 /// Runs a stepped backend to completion in one slice covering the whole
-/// budget. The four stepped backends implement `minimize` with this, which
+/// budget. The five stepped backends implement `minimize` with this, which
 /// is what makes sliced-vs-unsliced bit-identity hold by construction.
 pub fn drive(
     minimizer: &dyn SteppedMinimizer,
@@ -110,8 +133,8 @@ pub fn drive(
     run.result()
 }
 
-/// The degenerate stepped run of a backend with no internal checkpoint
-/// (Powell's conjugate-direction search): the whole run is one slice.
+/// The degenerate stepped run of a backend with no internal checkpoint:
+/// the whole run is one slice.
 ///
 /// The bit-identity contract holds trivially; the cost is granularity — an
 /// adaptive scheduler that grants this backend any slice pays for a full
@@ -175,34 +198,25 @@ impl<M: GlobalMinimizer + Clone + 'static> MinimizerStep for CoarseStep<M> {
     }
 }
 
-impl SteppedMinimizer for crate::Powell {
-    fn start(&self, problem: &Problem<'_>, seed: u64) -> Box<dyn MinimizerStep> {
-        Box::new(CoarseStep::new(self, problem, seed))
-    }
-
-    fn is_coarse(&self) -> bool {
-        true
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Bounds, FnObjective, NoTrace, Powell};
 
     #[test]
-    fn coarse_step_runs_whole_powell_in_one_slice() {
+    fn coarse_step_runs_a_whole_backend_in_one_slice() {
         let f = FnObjective::new(1, |x: &[f64]| (x[0] - 2.0).abs());
         let p = Problem::new(&f, Bounds::symmetric(1, 10.0)).with_max_evals(2_000);
         let direct = Powell::default().minimize(&p, 7, &mut NoTrace);
 
-        let powell = Powell::default();
-        let mut run = powell.start(&p, 7);
+        let mut run = CoarseStep::new(&Powell::default(), &p, 7);
         assert!(!run.is_finished());
         assert_eq!(run.evals(), 0);
         assert!(run.best_value().is_infinite());
         // Pre-step snapshot is a well-formed placeholder.
         assert_eq!(run.result().termination, Termination::BudgetExhausted);
+        // Coarse wrappers carry no serializable state.
+        assert!(run.checkpoint().is_none());
         assert_eq!(run.step(&p, 1, &mut NoTrace), StepStatus::Finished);
         assert!(run.is_finished());
         let sliced = run.result();
@@ -227,6 +241,7 @@ mod tests {
             ),
             ("ms", Box::new(MultiStart::default().with_starts(6))),
             ("rs", Box::new(RandomSearch::new())),
+            ("powell", Box::new(Powell::default())),
         ];
         let f = FnObjective::new(1, |x: &[f64]| (x[0] - 3.0).abs() * (x[0] + 1.0).abs() + 0.25);
         for (name, backend) in &backends {

@@ -1,0 +1,410 @@
+//! Line-delimited JSON wire protocol over std TCP.
+//!
+//! The service's second front-end (the first is the in-process
+//! [`ServiceHandle`]): a minimal request/response protocol where every
+//! message is one JSON object on one line. Analyses cannot travel over
+//! the wire — a weak distance is code — so submissions reference a
+//! server-side [`Catalog`] of named problems (the `serve` bin in
+//! `wdm_bench` registers the GSL suite and synthetic problems).
+//!
+//! Requests:
+//!
+//! | `cmd`       | fields                                               | reply |
+//! |-------------|------------------------------------------------------|-------|
+//! | `ping`      |                                                      | `{"ok":true}` |
+//! | `problems`  |                                                      | `{"ok":true,"problems":[...]}` |
+//! | `submit`    | `problem`, `seed`, `rounds?`, `max_evals?`, `backends?`, `weight?` | `{"ok":true,"id":N}` |
+//! | `status`    | `id`                                                 | `{"ok":true,"done":bool}` |
+//! | `wait`      | `id`                                                 | outcome object |
+//! | `cancel`    | `id`                                                 | `{"ok":true}` |
+//! | `report`    |                                                      | `{"ok":true,"jobs":[...]}` |
+//! | `subscribe` |                                                      | event stream until disconnect |
+//! | `shutdown`  |                                                      | `{"ok":true}`, then the server stops |
+//!
+//! Errors reply `{"ok":false,"error":"..."}`. Outcome objects carry
+//! solution inputs both as decimal floats (readability) and as IEEE-754
+//! bit patterns (exactness), mirroring the checkpoint convention.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::Value;
+use wdm_core::{AnalysisConfig, BackendKind, Outcome, WeakDistance};
+
+use crate::service::{
+    AnalysisService, EventKind, JobId, JobOutcome, JobSpec, ProgressEvent, ServiceHandle,
+};
+
+/// Named problems a wire client can submit against.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    entries: Vec<(String, Arc<dyn WeakDistance>)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a problem under `name` (later registrations shadow
+    /// earlier ones on resolve).
+    pub fn register(mut self, name: impl Into<String>, wd: Arc<dyn WeakDistance>) -> Self {
+        self.entries.push((name.into(), wd));
+        self
+    }
+
+    /// Resolves a problem by name.
+    pub fn resolve(&self, name: &str) -> Option<Arc<dyn WeakDistance>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, wd)| Arc::clone(wd))
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn ok(mut fields: Vec<(&str, Value)>) -> Value {
+    fields.insert(0, ("ok", Value::Bool(true)));
+    obj(fields)
+}
+
+fn err(message: impl Into<String>) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.into())),
+    ])
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Parses a backend name: the report name ([`BackendKind::name`]) or a
+/// short code (`bh`, `de`, `powell`, `ms`, `rs`).
+pub fn parse_backend(name: &str) -> Option<BackendKind> {
+    let lower = name.to_ascii_lowercase();
+    BackendKind::all()
+        .into_iter()
+        .find(|b| b.name().to_ascii_lowercase() == lower)
+        .or(match lower.as_str() {
+            "bh" => Some(BackendKind::BasinHopping),
+            "de" => Some(BackendKind::DifferentialEvolution),
+            "powell" => Some(BackendKind::Powell),
+            "ms" => Some(BackendKind::MultiStart),
+            "rs" => Some(BackendKind::RandomSearch),
+            _ => None,
+        })
+}
+
+fn floats_json(xs: &[f64]) -> (Value, Value) {
+    (
+        Value::Array(xs.iter().map(|&x| Value::Float(x)).collect()),
+        Value::Array(xs.iter().map(|&x| Value::UInt(x.to_bits())).collect()),
+    )
+}
+
+/// Renders a terminal outcome as a wire object.
+pub fn outcome_json(id: JobId, outcome: &JobOutcome) -> Value {
+    let winner = outcome.run.winning_backend().name();
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("id", Value::UInt(id.0 as u64)),
+        ("name", Value::Str(outcome.name.clone())),
+        ("winner", Value::Str(winner.to_string())),
+    ];
+    match &outcome.run.outcome() {
+        Outcome::Found { input, evals } => {
+            let (dec, bits) = floats_json(input);
+            fields.push(("found", Value::Bool(true)));
+            fields.push(("input", dec));
+            fields.push(("input_bits", bits));
+            fields.push(("evals", Value::UInt(*evals as u64)));
+        }
+        Outcome::NotFound {
+            best_value,
+            best_input,
+            evals,
+        } => {
+            let (dec, bits) = floats_json(best_input);
+            fields.push(("found", Value::Bool(false)));
+            fields.push(("best_value", Value::Float(*best_value)));
+            fields.push(("best_value_bits", Value::UInt(best_value.to_bits())));
+            fields.push(("best_input", dec));
+            fields.push(("best_input_bits", bits));
+            fields.push(("evals", Value::UInt(*evals as u64)));
+        }
+    }
+    obj(fields)
+}
+
+/// Renders a progress event as a wire object.
+pub fn event_json(event: &ProgressEvent) -> Value {
+    let mut fields = vec![
+        ("job", Value::UInt(event.job.0 as u64)),
+        ("name", Value::Str(event.name.clone())),
+    ];
+    match &event.kind {
+        EventKind::Admitted { resumed_at_turn } => {
+            fields.push(("event", Value::Str("admitted".into())));
+            fields.push(("resumed_at_turn", Value::UInt(*resumed_at_turn)));
+        }
+        EventKind::Progress {
+            residual,
+            evals,
+            leader,
+            turn,
+        } => {
+            fields.push(("event", Value::Str("progress".into())));
+            fields.push(("residual", Value::Float(*residual)));
+            fields.push(("residual_bits", Value::UInt(residual.to_bits())));
+            fields.push(("evals", Value::UInt(*evals as u64)));
+            fields.push((
+                "leader",
+                match leader {
+                    Some(b) => Value::Str(b.name().to_string()),
+                    None => Value::Null,
+                },
+            ));
+            fields.push(("turn", Value::UInt(*turn)));
+        }
+        EventKind::Checkpointed { turn } => {
+            fields.push(("event", Value::Str("checkpointed".into())));
+            fields.push(("turn", Value::UInt(*turn)));
+        }
+        EventKind::Finished {
+            found,
+            evals,
+            winner,
+        } => {
+            fields.push(("event", Value::Str("finished".into())));
+            fields.push(("found", Value::Bool(*found)));
+            fields.push(("evals", Value::UInt(*evals as u64)));
+            fields.push(("winner", Value::Str(winner.name().to_string())));
+        }
+        EventKind::Cancelled => {
+            fields.push(("event", Value::Str("cancelled".into())));
+        }
+    }
+    obj(fields)
+}
+
+/// How a dispatched request is answered.
+enum Reply {
+    /// One response line.
+    Line(Value),
+    /// Stream progress events on this connection until it closes.
+    Stream,
+    /// One `ok` line, then stop the whole server.
+    Shutdown,
+}
+
+fn dispatch(request: &Value, handle: &ServiceHandle, catalog: &Catalog) -> Reply {
+    let cmd = match request.field("cmd") {
+        Value::Str(s) => s.as_str(),
+        _ => return Reply::Line(err("missing cmd")),
+    };
+    match cmd {
+        "ping" => Reply::Line(ok(vec![])),
+        "problems" => Reply::Line(ok(vec![(
+            "problems",
+            Value::Array(catalog.names().into_iter().map(Value::Str).collect()),
+        )])),
+        "submit" => {
+            let Value::Str(problem) = request.field("problem") else {
+                return Reply::Line(err("submit needs a problem name"));
+            };
+            let Some(wd) = catalog.resolve(problem) else {
+                return Reply::Line(err(format!("unknown problem {problem:?}")));
+            };
+            let Some(seed) = as_u64(request.field("seed")) else {
+                return Reply::Line(err("submit needs a seed"));
+            };
+            let mut config = AnalysisConfig::quick(seed);
+            if let Some(rounds) = as_u64(request.field("rounds")) {
+                config = config.with_rounds(rounds as usize);
+            }
+            if let Some(max_evals) = as_u64(request.field("max_evals")) {
+                config = config.with_max_evals(max_evals as usize);
+            }
+            let mut spec = JobSpec::new(problem.clone(), wd, config);
+            if let Value::Array(names) = request.field("backends") {
+                let mut backends = Vec::new();
+                for name in names {
+                    let Value::Str(name) = name else {
+                        return Reply::Line(err("backends must be strings"));
+                    };
+                    let Some(backend) = parse_backend(name) else {
+                        return Reply::Line(err(format!("unknown backend {name:?}")));
+                    };
+                    backends.push(backend);
+                }
+                if backends.is_empty() {
+                    return Reply::Line(err("backends must be non-empty"));
+                }
+                spec = spec.with_backends(&backends);
+            }
+            if let Some(weight) = as_u64(request.field("weight")) {
+                spec = spec.with_weight(weight as usize);
+            }
+            match handle.submit(spec) {
+                Ok(id) => Reply::Line(ok(vec![("id", Value::UInt(id.0 as u64))])),
+                Err(closed) => Reply::Line(err(closed.to_string())),
+            }
+        }
+        "status" => match as_u64(request.field("id")) {
+            Some(id) if (id as usize) < handle.jobs() => {
+                let done = handle.outcome(JobId(id as usize)).is_some();
+                Reply::Line(ok(vec![("done", Value::Bool(done))]))
+            }
+            _ => Reply::Line(err("status needs a known id")),
+        },
+        "wait" => match as_u64(request.field("id")) {
+            Some(id) if (id as usize) < handle.jobs() => {
+                let id = JobId(id as usize);
+                let outcome = handle.wait(id);
+                Reply::Line(outcome_json(id, &outcome))
+            }
+            _ => Reply::Line(err("wait needs a known id")),
+        },
+        "cancel" => match as_u64(request.field("id")) {
+            Some(id) if (id as usize) < handle.jobs() => {
+                handle.cancel(JobId(id as usize));
+                Reply::Line(ok(vec![]))
+            }
+            _ => Reply::Line(err("cancel needs a known id")),
+        },
+        "report" => {
+            let jobs = handle
+                .report()
+                .into_iter()
+                .map(|(id, name, outcome)| match outcome {
+                    Some(outcome) => outcome_json(id, &outcome),
+                    None => obj(vec![
+                        ("ok", Value::Bool(true)),
+                        ("id", Value::UInt(id.0 as u64)),
+                        ("name", Value::Str(name)),
+                        ("pending", Value::Bool(true)),
+                    ]),
+                })
+                .collect();
+            Reply::Line(ok(vec![("jobs", Value::Array(jobs))]))
+        }
+        "subscribe" => Reply::Stream,
+        "shutdown" => Reply::Shutdown,
+        other => Reply::Line(err(format!("unknown cmd {other:?}"))),
+    }
+}
+
+fn write_line(stream: &mut TcpStream, value: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(value).map_err(|e| std::io::Error::other(format!("{e:?}")))?;
+    writeln!(stream, "{text}")
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    handle: ServiceHandle,
+    catalog: Arc<Catalog>,
+    stop: Arc<AtomicBool>,
+) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::value_from_str(&line) {
+            Ok(request) => dispatch(&request, &handle, &catalog),
+            Err(e) => Reply::Line(err(format!("bad request: {e:?}"))),
+        };
+        match reply {
+            Reply::Line(value) => {
+                if write_line(&mut writer, &value).is_err() {
+                    return;
+                }
+            }
+            Reply::Stream => {
+                // The connection becomes an event stream; it ends when
+                // the client disconnects or the service shuts down
+                // (which closes every subscriber sender).
+                let events = handle.subscribe();
+                if write_line(&mut writer, &ok(vec![])).is_err() {
+                    return;
+                }
+                for event in events {
+                    if write_line(&mut writer, &event_json(&event)).is_err() {
+                        return;
+                    }
+                }
+                return;
+            }
+            Reply::Shutdown => {
+                let _ = write_line(&mut writer, &ok(vec![]));
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+/// Serves the wire protocol on `listener` until a client sends
+/// `shutdown`. Owns the service: on shutdown, unfinished jobs are
+/// cancelled to terminal outcomes, the scheduler is joined, and every
+/// subscriber stream is closed before `serve` returns.
+pub fn serve(listener: TcpListener, service: AnalysisService, catalog: Catalog) {
+    let handle = service.handle();
+    let catalog = Arc::new(catalog);
+    let stop = Arc::new(AtomicBool::new(false));
+    let local_addr = listener.local_addr().ok();
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let handle = handle.clone();
+        let catalog = Arc::clone(&catalog);
+        let conn_stop = Arc::clone(&stop);
+        let addr = local_addr;
+        connections.push(std::thread::spawn(move || {
+            handle_connection(stream, handle, catalog, Arc::clone(&conn_stop));
+            // Unblock the accept loop once a shutdown was requested.
+            if conn_stop.load(Ordering::SeqCst) {
+                if let Some(addr) = addr {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        }));
+    }
+    // Terminal outcomes for every job, scheduler joined, subscriber
+    // senders dropped — which ends the streaming connections joined
+    // below.
+    service.shutdown();
+    for conn in connections {
+        let _ = conn.join();
+    }
+}

@@ -21,7 +21,11 @@
 //!   portfolios with first-hit cancellation (raced, or bandit-scheduled
 //!   under [`PortfolioPolicy::Adaptive`](wdm_core::PortfolioPolicy)),
 //!   deterministic restart sharding, and campaign mode batching whole
-//!   benchmark suites over a worker pool.
+//!   benchmark suites over a worker pool;
+//! * [`service`] ([`wdm_service`]) — the multi-tenant analysis service:
+//!   fair-share slicing of concurrent jobs over one pool, durable
+//!   checkpoint/resume, and progress streaming (in-process or over the
+//!   line-delimited JSON TCP protocol).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `crates/bench` binaries for the scripts that regenerate every table and
@@ -49,4 +53,5 @@ pub use mini_gsl as gsl;
 pub use wdm_core as core;
 pub use wdm_engine as engine;
 pub use wdm_mo as mo;
+pub use wdm_service as service;
 pub use wdm_xsat as xsat;

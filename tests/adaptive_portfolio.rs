@@ -1,8 +1,8 @@
 //! Properties of the adaptive portfolio stack:
 //!
 //! 1. **Sliced-vs-unsliced bit-equivalence** — every stepped backend
-//!    (BasinHopping, Differential Evolution, MultiStart, RandomSearch),
-//!    run in random eval-budget slices through the
+//!    (BasinHopping, Differential Evolution, Powell, MultiStart,
+//!    RandomSearch), run in random eval-budget slices through the
 //!    [`SteppedMinimizer`](wdm::mo::SteppedMinimizer) seam, produces
 //!    exactly the unsliced run's result and sampling trace;
 //! 2. **Single-backend `Adaptive` ≡ direct run** — an adaptive portfolio
@@ -28,19 +28,20 @@ use wdm::core::weak_distance::FnWeakDistance;
 use wdm::ir::{programs, ModuleProgram};
 use wdm::mo::stepped::StepStatus;
 use wdm::mo::{
-    BasinHopping, Bounds, CancelToken, DifferentialEvolution, FnObjective, MultiStart, Problem,
-    RandomSearch, SamplingTrace, SteppedMinimizer,
+    BasinHopping, Bounds, CancelToken, DifferentialEvolution, FnObjective, MultiStart, Powell,
+    Problem, RandomSearch, SamplingTrace, SteppedMinimizer,
 };
 use wdm::runtime::Interval;
 
 fn stepped_backend(pick: usize) -> (&'static str, Box<dyn SteppedMinimizer>) {
-    match pick % 4 {
+    match pick % 5 {
         0 => ("BasinHopping", Box::new(BasinHopping::default().with_hops(12))),
         1 => (
             "DifferentialEvolution",
             Box::new(DifferentialEvolution::default().with_max_generations(25)),
         ),
         2 => ("MultiStart", Box::new(MultiStart::default().with_starts(8))),
+        3 => ("Powell", Box::new(Powell::default())),
         _ => ("RandomSearch", Box::new(RandomSearch::new())),
     }
 }
@@ -52,7 +53,7 @@ proptest! {
     #[test]
     fn sliced_run_is_bit_identical_to_unsliced(
         seed in any::<u64>(),
-        pick in 0usize..4,
+        pick in 0usize..5,
         kind in any::<u8>(),
         max_evals in 300usize..2_000,
         slices in proptest::collection::vec(1usize..600, 1..6),
@@ -86,7 +87,7 @@ proptest! {
 
 /// An adaptive portfolio of a single backend is the direct driver run of
 /// that backend — outcome, best result and sampling trace, bit for bit —
-/// for all five backends (Powell runs coarsely but equivalently).
+/// for all five backends (Powell included, now a true stepped backend).
 #[test]
 fn single_backend_adaptive_equals_direct_run_on_fig2() {
     for backend in BackendKind::all() {

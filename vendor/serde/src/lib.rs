@@ -1,16 +1,17 @@
-//! Offline subset of `serde`: the [`Serialize`] trait, a self-describing
-//! [`Value`] tree it serializes into, and the `#[derive(Serialize)]` macro
-//! re-exported from the vendored `serde_derive`.
+//! Offline subset of `serde`: the [`Serialize`]/[`Deserialize`] traits, a
+//! self-describing [`Value`] tree they convert through, and the
+//! `#[derive(Serialize)]`/`#[derive(Deserialize)]` macros re-exported from
+//! the vendored `serde_derive`.
 //!
-//! The real serde serializes through a visitor; this stub instead has every
-//! type produce a [`Value`], which `serde_json` then renders. That is
-//! enough for the workspace's report layer (plain structs of numbers,
-//! strings, vectors, options and unit enums) while keeping the derive
-//! macro dependency-free.
+//! The real serde (de)serializes through a visitor; this stub instead has
+//! every type produce or consume a [`Value`], which `serde_json` renders
+//! and parses. That is enough for the workspace's report and checkpoint
+//! layers (plain structs of numbers, strings, vectors, options and unit
+//! enums) while keeping the derive macro dependency-free.
 
 #![forbid(unsafe_code)]
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A self-describing serialized value (a JSON-shaped tree).
 #[derive(Debug, Clone, PartialEq)]
@@ -148,4 +149,240 @@ impl_serialize_tuple! {
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Deserialization error: the [`Value`] tree did not have the shape the
+/// target type expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing a shape mismatch.
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {expected}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// Looks up `name` in an object. Missing fields (and lookups on
+    /// non-objects) return [`Value::Null`], which lets `Option` fields
+    /// deserialize from absent keys like real serde's `default`.
+    pub fn field(&self, name: &str) -> &Value {
+        const NULL: &Value = &Value::Null;
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(NULL),
+            _ => NULL,
+        }
+    }
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts a serialized [`Value`] tree back into `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+/// Extracts an integer from either integral [`Value`] variant, so a value
+/// written as `UInt` can be read back as `i64` and vice versa (the JSON
+/// text does not distinguish them).
+fn int_from_value(value: &Value) -> Result<i128, DeError> {
+    match value {
+        Value::Int(n) => Ok(*n as i128),
+        Value::UInt(n) => Ok(*n as i128),
+        other => Err(DeError::mismatch("integer", other)),
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {
+        $(impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = int_from_value(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    )))
+            }
+        })*
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            // serde_json writes non-finite floats as null; accept the
+            // round trip (checkpoint-critical floats travel as bits).
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::mismatch("float", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::mismatch("single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident . $idx:tt),+; $len:expr))+) => {
+        $(impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch(
+                        concat!("array of length ", stringify!($len)), other)),
+                }
+            }
+        })+
+    };
+}
+
+impl_deserialize_tuple! {
+    (A.0; 1)
+    (A.0, B.1; 2)
+    (A.0, B.1, C.2; 3)
+    (A.0, B.1, C.2, D.3; 4)
+}
+
+#[cfg(test)]
+mod de_tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_through_values() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u64::from_value(&u64::MAX.to_value()), Ok(u64::MAX));
+        assert_eq!(i64::from_value(&(-5i64).to_value()), Ok(-5));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn int_variants_are_interchangeable() {
+        // A u64 parsed from JSON may surface as Int; a small i64 as UInt.
+        assert_eq!(u64::from_value(&Value::Int(7)), Ok(7));
+        assert_eq!(i64::from_value(&Value::UInt(7)), Ok(7));
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn options_and_sequences_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&v.to_value()), Ok(None));
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()), Ok(xs));
+        let pair = (1u32, "a".to_string());
+        assert_eq!(
+            <(u32, String)>::from_value(&pair.to_value()),
+            Ok((1, "a".to_string()))
+        );
+    }
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.field("a"), &Value::UInt(1));
+        assert_eq!(obj.field("missing"), &Value::Null);
+        assert_eq!(Option::<u32>::from_value(obj.field("missing")), Ok(None));
+    }
 }

@@ -1,10 +1,13 @@
-//! A dependency-free `#[derive(Serialize)]` for the vendored serde stub.
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stub.
 //!
 //! Parses the item token stream by hand (no `syn`/`quote` available
 //! offline) and supports the two shapes the workspace uses:
 //!
-//! * structs with named fields — serialized as an object in field order;
-//! * enums with unit variants only — serialized as the variant name,
+//! * structs with named fields — (de)serialized as an object in field
+//!   order (missing fields read as `Value::Null`, so `Option` fields
+//!   tolerate absent keys);
+//! * enums with unit variants only — (de)serialized as the variant name,
 //!   matching serde's externally-tagged default.
 //!
 //! Anything fancier (generics, tuple structs, data-carrying variants)
@@ -12,16 +15,41 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// Which serde trait a derive invocation generates.
+#[derive(Clone, Copy, PartialEq)]
+enum Derive {
+    Serialize,
+    Deserialize,
+}
+
+impl Derive {
+    fn name(self) -> &'static str {
+        match self {
+            Derive::Serialize => "Serialize",
+            Derive::Deserialize => "Deserialize",
+        }
+    }
+}
+
 /// Derives `serde::Serialize` (the vendored stub's `to_value` form).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
+    match expand(input, Derive::Serialize) {
         Ok(out) => out,
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
 }
 
-fn expand(input: TokenStream) -> Result<TokenStream, String> {
+/// Derives `serde::Deserialize` (the vendored stub's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match expand(input, Derive::Deserialize) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream, derive: Derive) -> Result<TokenStream, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -58,7 +86,8 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
     if let Some(TokenTree::Punct(p)) = tokens.get(i) {
         if p.as_char() == '<' {
             return Err(format!(
-                "the vendored #[derive(Serialize)] does not support generics on `{name}`"
+                "the vendored #[derive({})] does not support generics on `{name}`",
+                derive.name()
             ));
         }
     }
@@ -67,15 +96,19 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
         other => {
             return Err(format!(
-                "the vendored #[derive(Serialize)] needs a braced {kind} body for `{name}`, found {other:?}"
+                "the vendored #[derive({})] needs a braced {kind} body for `{name}`, found {other:?}",
+                derive.name()
             ))
         }
     };
 
     match kind.as_str() {
-        "struct" => expand_struct(&name, body),
-        "enum" => expand_enum(&name, body),
-        other => Err(format!("cannot derive Serialize for item kind `{other}`")),
+        "struct" => expand_struct(&name, body, derive),
+        "enum" => expand_enum(&name, body, derive),
+        other => Err(format!(
+            "cannot derive {} for item kind `{other}`",
+            derive.name()
+        )),
     }
 }
 
@@ -131,25 +164,50 @@ fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
     Ok(fields)
 }
 
-fn expand_struct(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+fn expand_struct(name: &str, body: TokenStream, derive: Derive) -> Result<TokenStream, String> {
     let fields = named_fields(body)?;
-    let entries: String = fields
-        .iter()
-        .map(|f| {
-            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),")
-        })
-        .collect();
-    let out = format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_value(&self) -> ::serde::Value {{\n\
-                 ::serde::Value::Object(vec![{entries}])\n\
-             }}\n\
-         }}"
-    );
+    let out = match derive {
+        Derive::Serialize => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Derive::Deserialize => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.field({f:?})).map_err(\
+                             |e| ::serde::DeError(format!(\"{name}.{f}: {{}}\", e.0)))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                             return Err(::serde::DeError::mismatch({name:?}, value));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
     out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
 }
 
-fn expand_enum(name: &str, body: TokenStream) -> Result<TokenStream, String> {
+fn expand_enum(name: &str, body: TokenStream, derive: Derive) -> Result<TokenStream, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
@@ -164,7 +222,8 @@ fn expand_enum(name: &str, body: TokenStream) -> Result<TokenStream, String> {
                     Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
                     Some(TokenTree::Group(_)) => {
                         return Err(format!(
-                            "the vendored #[derive(Serialize)] only supports unit variants; `{name}::{variant}` carries data"
+                            "the vendored #[derive({})] only supports unit variants; `{name}::{variant}` carries data",
+                            derive.name()
                         ))
                     }
                     Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
@@ -187,16 +246,40 @@ fn expand_enum(name: &str, body: TokenStream) -> Result<TokenStream, String> {
             other => return Err(format!("unexpected token in enum body: {other:?}")),
         }
     }
-    let arms: String = variants
-        .iter()
-        .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
-        .collect();
-    let out = format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_value(&self) -> ::serde::Value {{\n\
-                 match self {{ {arms} }}\n\
-             }}\n\
-         }}"
-    );
+    let out = match derive {
+        Derive::Serialize => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Derive::Deserialize => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::mismatch({name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
     out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
 }

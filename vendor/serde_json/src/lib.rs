@@ -1,13 +1,14 @@
 //! Offline subset of `serde_json`: renders the vendored serde stub's
-//! [`serde::Value`] tree as JSON text. Only the entry points the workspace
-//! uses (`to_string`, `to_string_pretty`) are provided.
+//! [`serde::Value`] tree as JSON text and parses JSON text back into a
+//! [`serde::Value`]. Only the entry points the workspace uses
+//! (`to_string`, `to_string_pretty`, `from_str`, `from_value`,
+//! `value_from_str`) are provided.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// Serialization error. The stub's value tree is always serializable, so
-/// the only failure mode is a non-finite float, which JSON cannot express.
+/// Serialization/parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
@@ -107,6 +108,200 @@ fn render_seq<I, T>(
     out.push(brackets.1);
 }
 
+/// Parses JSON text into a typed value via [`serde::Deserialize`].
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = value_from_str(text)?;
+    from_value(&value)
+}
+
+/// Converts an already-parsed [`Value`] tree into a typed value.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|DeError(msg)| Error(msg))
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Numbers without a fraction or exponent parse as [`Value::UInt`] (or
+/// [`Value::Int`] when negative) so 64-bit bit patterns round-trip
+/// exactly; anything with `.`/`e`/`E` parses as [`Value::Float`].
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{token}` at byte {pos}")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                        // Surrogate pairs are not produced by our renderer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // byte sequence is valid).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error("invalid UTF-8".to_string()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error("invalid UTF-8 in number".to_string()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(digits) = text.strip_prefix('-') {
+            if let Ok(n) = digits.parse::<u64>() {
+                if n <= i64::MAX as u64 + 1 {
+                    return Ok(Value::Int((n as i128).wrapping_neg() as i64));
+                }
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::UInt(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("bad number `{text}`")))
+}
+
 fn render_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -145,5 +340,66 @@ mod tests {
     #[test]
     fn floats_keep_a_decimal_point() {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(value_from_str("null").unwrap(), Value::Null);
+        assert_eq!(value_from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(value_from_str(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(value_from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(value_from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(value_from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            value_from_str("\"a\\\"b\\nc\"").unwrap(),
+            Value::Str("a\"b\nc".to_string())
+        );
+    }
+
+    #[test]
+    fn large_u64_survives_the_round_trip() {
+        let bits = f64::NEG_INFINITY.to_bits();
+        let text = to_string(&bits).unwrap();
+        assert_eq!(from_str::<u64>(&text).unwrap(), bits);
+        assert_eq!(from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = value_from_str("{\"a\": [1, 2], \"b\": {\"c\": null}}").unwrap();
+        assert_eq!(v.field("a"), &Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(v.field("b").field("c"), &Value::Null);
+    }
+
+    #[test]
+    fn round_trips_rendered_output() {
+        let original = Value::Object(vec![
+            ("xs".to_string(), Value::Array(vec![Value::Float(0.5), Value::Int(-3)])),
+            ("name".to_string(), Value::Str("w\t".to_string())),
+            ("flag".to_string(), Value::Bool(false)),
+        ]);
+        for text in [
+            {
+                let mut s = String::new();
+                render(&original, None, 0, &mut s);
+                s
+            },
+            {
+                let mut s = String::new();
+                render(&original, Some(2), 0, &mut s);
+                s
+            },
+        ] {
+            assert_eq!(value_from_str(&text).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("{\"a\" 1}").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("12 34").is_err());
+        assert!(value_from_str("\"open").is_err());
     }
 }
