@@ -43,6 +43,12 @@ struct ModuleReport {
     unreachable_boundaries: usize,
     unreachable_op_sites: usize,
     validated: bool,
+    /// Target-directed specialization under an events-only observation
+    /// (every branch site kept, return value and globals unobserved) —
+    /// `None` when translation validation rejected the specialized module.
+    opt_insts_removed: Option<usize>,
+    opt_branches_folded: Option<usize>,
+    opt_slice_ratio: Option<f64>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -94,6 +100,12 @@ fn audit(name: &str, program: &fpir::ModuleProgram) -> ModuleReport {
         .values()
         .filter(|o| o.reach.is_unreachable())
         .count();
+    let opt_stats = program
+        .specialized_with_stats(
+            &fp_runtime::ObservationSpec::branches(fp_runtime::SiteSet::All),
+            fp_runtime::OptPolicy::Always,
+        )
+        .map(|(_, stats)| stats);
     ModuleReport {
         module: name.to_string(),
         functions: module.functions.len(),
@@ -110,6 +122,9 @@ fn audit(name: &str, program: &fpir::ModuleProgram) -> ModuleReport {
         unreachable_boundaries: dead_boundaries,
         unreachable_op_sites: dead_ops,
         validated: info.validated,
+        opt_insts_removed: opt_stats.as_ref().map(|s| s.insts_removed()),
+        opt_branches_folded: opt_stats.as_ref().map(|s| s.branches_folded),
+        opt_slice_ratio: opt_stats.as_ref().map(|s| s.slice_ratio()),
     }
 }
 
@@ -193,12 +208,12 @@ fn main() {
         .any(|m| m.module.ends_with("/W") && m.kernel_eligible);
 
     println!(
-        "{:<12} {:>5} {:>7} {:>6} {:>9} {:>11} {:>10}  eligible",
-        "module", "funcs", "blocks", "sites", "compacted", "slots saved", "dead sides"
+        "{:<12} {:>5} {:>7} {:>6} {:>9} {:>11} {:>10} {:>9}  eligible",
+        "module", "funcs", "blocks", "sites", "compacted", "slots saved", "dead sides", "opt -insts"
     );
     for m in &modules {
         println!(
-            "{:<12} {:>5} {:>7} {:>6} {:>9} {:>11} {:>10}  {}",
+            "{:<12} {:>5} {:>7} {:>6} {:>9} {:>11} {:>10} {:>9}  {}",
             m.module,
             m.functions,
             m.blocks,
@@ -206,6 +221,8 @@ fn main() {
             m.compacted_frames,
             m.register_slots_saved,
             m.unreachable_branch_sides,
+            m.opt_insts_removed
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
             if m.kernel_eligible { "yes" } else { "no" }
         );
     }

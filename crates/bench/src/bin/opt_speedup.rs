@@ -1,0 +1,214 @@
+//! Measures what target-directed specialization (`fpir::opt`) saves per
+//! evaluation, and verifies that it never changes results.
+//!
+//! Each workload evaluates the same point grid twice through the analysis
+//! stack's `eval_batch` — once with [`OptPolicy::Never`] (the unoptimized
+//! module) and once with [`OptPolicy::Always`] (the translation-validated
+//! specialized module) — asserting bitwise identical values. Alongside
+//! wall-clock, it reports the *instruction counts* the interpreter
+//! actually executes per evaluation (the machine-independent number the
+//! optimizer is accountable for):
+//!
+//! * **opt/W-driver(fig2)**, **opt/W-driver(fig1b)** — the boundary weak
+//!   distance over the paper's arithmetic `W` drivers: the driver's `w`
+//!   bookkeeping (global stores, products of branch distances) is
+//!   invisible to the event-folding observer, so slicing removes it
+//!   wholesale; this is the workload behind the "fewer instructions per
+//!   eval at unchanged bits" acceptance gate;
+//! * **opt/single-branch(fig2)** — a single-site boundary target: the
+//!   untargeted site's event plus the return-value chain are pruned.
+//!
+//! Usage: `opt_speedup [--smoke] [--json <path>]` (`--smoke` shrinks the
+//! point count for CI; the JSON report is `BENCH_opt.json` when `--json`
+//! targets a directory).
+
+use fp_runtime::{BranchId, ObservationSpec, OptPolicy, SiteSet};
+use fpir::ModuleProgram;
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::boundary::{BoundaryMode, BoundaryWeakDistance};
+use wdm_core::weak_distance::WeakDistance;
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadReport {
+    workload: String,
+    points: usize,
+    /// Static shrinkage: instruction counts of the module before/after
+    /// specialization, and what each pass contributed.
+    original_insts: usize,
+    optimized_insts: usize,
+    branches_folded: usize,
+    sites_stripped: usize,
+    slice_ratio: f64,
+    /// Dynamic shrinkage: mean interpreter instructions per evaluation.
+    baseline_insts_per_eval: f64,
+    opt_insts_per_eval: f64,
+    insts_reduction: f64,
+    baseline_ns_per_eval: f64,
+    opt_ns_per_eval: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct OptReport {
+    smoke: bool,
+    /// The acceptance gate: every workload must execute fewer interpreter
+    /// instructions per evaluation after specialization, at identical bits.
+    fewer_instructions_everywhere: bool,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// A deterministic point grid over `[lo, hi]`.
+fn grid(n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![lo + (hi - lo) * (i as f64 + 0.5) / n as f64])
+        .collect()
+}
+
+/// The arithmetic `W` driver of `module`'s boundary instance.
+fn w_driver(module: &fpir::Module, entry: &str) -> ModuleProgram {
+    let id = module.function_by_name(entry).expect("entry exists");
+    let w = fpir::instrument::instrument_boundary(module, id);
+    ModuleProgram::new(w, fpir::instrument::W_FUNCTION).expect("driver W exists")
+}
+
+/// Mean interpreter instructions per evaluation over a subsample of `xs`.
+fn insts_per_eval(prog: &ModuleProgram, xs: &[Vec<f64>]) -> f64 {
+    let stride = (xs.len() / 512).max(1);
+    let sample: Vec<&Vec<f64>> = xs.iter().step_by(stride).collect();
+    let total: u64 = sample
+        .iter()
+        .map(|x| prog.instructions_executed(x).expect("evaluation succeeds"))
+        .sum();
+    total as f64 / sample.len().max(1) as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_workload(
+    name: &str,
+    prog: ModuleProgram,
+    mode: BoundaryMode,
+    spec: &ObservationSpec,
+    xs: &[Vec<f64>],
+) -> WorkloadReport {
+    let (opt_prog, stats) = prog
+        .specialized_with_stats(spec, OptPolicy::Always)
+        .expect("specialization validates");
+
+    let baseline_insts_per_eval = insts_per_eval(&prog, xs);
+    let opt_insts_per_eval = insts_per_eval(&opt_prog, xs);
+
+    let baseline = BoundaryWeakDistance::new(prog)
+        .with_mode(mode)
+        .with_opt_policy(OptPolicy::Never);
+    let optimized = baseline.clone().with_opt_policy(OptPolicy::Always);
+
+    let mut baseline_values = Vec::new();
+    let started = Instant::now();
+    baseline.eval_batch(xs, &mut baseline_values);
+    let baseline_seconds = started.elapsed().as_secs_f64();
+
+    let mut opt_values = Vec::new();
+    let started = Instant::now();
+    optimized.eval_batch(xs, &mut opt_values);
+    let opt_seconds = started.elapsed().as_secs_f64();
+
+    let identical = baseline_values.len() == opt_values.len()
+        && baseline_values
+            .iter()
+            .zip(&opt_values)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let per_eval = |seconds: f64| seconds * 1.0e9 / xs.len().max(1) as f64;
+    WorkloadReport {
+        workload: name.to_string(),
+        points: xs.len(),
+        original_insts: stats.original_insts,
+        optimized_insts: stats.optimized_insts,
+        branches_folded: stats.branches_folded,
+        sites_stripped: stats.sites_stripped,
+        slice_ratio: stats.slice_ratio(),
+        baseline_insts_per_eval,
+        opt_insts_per_eval,
+        insts_reduction: 1.0 - opt_insts_per_eval / baseline_insts_per_eval.max(1.0),
+        baseline_ns_per_eval: per_eval(baseline_seconds),
+        opt_ns_per_eval: per_eval(opt_seconds),
+        speedup: baseline_seconds / opt_seconds.max(1e-12),
+        identical,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n = if smoke { 20_000 } else { 400_000 };
+
+    println!(
+        "Target-directed specialization experiment ({} mode, {n} points)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let xs = grid(n, -50.0, 50.0);
+    let everything = ObservationSpec::branches(SiteSet::All);
+    let single = ObservationSpec::branches(SiteSet::Only([0].into_iter().collect()));
+    let workloads = vec![
+        run_workload(
+            "opt/W-driver(fig2)",
+            w_driver(&fpir::programs::fig2_program(), "prog"),
+            BoundaryMode::Product,
+            &everything,
+            &xs,
+        ),
+        run_workload(
+            "opt/W-driver(fig1b)",
+            w_driver(&fpir::programs::fig1b_program(), "prog"),
+            BoundaryMode::Product,
+            &everything,
+            &xs,
+        ),
+        run_workload(
+            "opt/single-branch(fig2)",
+            ModuleProgram::new(fpir::programs::fig2_program(), "prog").expect("entry exists"),
+            BoundaryMode::Single(BranchId(0)),
+            &single,
+            &xs,
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>7} {:>7} {:>11} {:>11} {:>8} {:>8}  identical",
+        "workload", "insts", "opt", "base i/e", "opt i/e", "reduced", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<24} {:>7} {:>7} {:>11.1} {:>11.1} {:>7.1}% {:>7.2}x  {}",
+            w.workload,
+            w.original_insts,
+            w.optimized_insts,
+            w.baseline_insts_per_eval,
+            w.opt_insts_per_eval,
+            w.insts_reduction * 100.0,
+            w.speedup,
+            if w.identical { "yes" } else { "NO" }
+        );
+    }
+
+    let fewer_instructions_everywhere = workloads
+        .iter()
+        .all(|w| w.opt_insts_per_eval < w.baseline_insts_per_eval);
+    let report = OptReport {
+        smoke,
+        fewer_instructions_everywhere,
+        workloads,
+    };
+    wdm_bench::emit_json("opt", &report);
+
+    if report.workloads.iter().any(|w| !w.identical) {
+        eprintln!("error: specialized values diverged from the unoptimized path");
+        std::process::exit(1);
+    }
+    if !report.fewer_instructions_everywhere {
+        eprintln!("error: specialization failed to reduce per-eval instruction counts");
+        std::process::exit(1);
+    }
+}

@@ -9,9 +9,10 @@
 use crate::driver::{
     minimize_weak_distance, statically_pruned_run, AnalysisConfig, MinimizationRun, Outcome,
 };
-use crate::weak_distance::WeakDistance;
+use crate::weak_distance::{SpecializationCache, WeakDistance};
 use fp_runtime::{
-    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
+    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, ObservationSpec, Observer,
+    OptPolicy, ProbeControl, SiteSet,
 };
 use std::collections::BTreeMap;
 
@@ -78,6 +79,7 @@ pub struct BoundaryWeakDistance<P> {
     program: P,
     mode: BoundaryMode,
     kernel_policy: KernelPolicy,
+    opt: SpecializationCache,
 }
 
 impl<P: Analyzable> BoundaryWeakDistance<P> {
@@ -87,12 +89,15 @@ impl<P: Analyzable> BoundaryWeakDistance<P> {
             program,
             mode: BoundaryMode::Product,
             kernel_policy: KernelPolicy::Auto,
+            opt: SpecializationCache::default(),
         }
     }
 
     /// Selects a different folding mode.
     pub fn with_mode(mut self, mode: BoundaryMode) -> Self {
         self.mode = mode;
+        // The observation spec depends on the mode; re-specialize.
+        self.opt = SpecializationCache::new(self.opt.policy());
         self
     }
 
@@ -104,9 +109,29 @@ impl<P: Analyzable> BoundaryWeakDistance<P> {
         self
     }
 
+    /// Selects whether evaluations may run a target-specialized
+    /// (translation-validated) variant of the program
+    /// ([`OptPolicy::Auto`] by default). Never changes values — the
+    /// observer sees a bit-identical event stream either way.
+    pub fn with_opt_policy(mut self, opt_policy: OptPolicy) -> Self {
+        self.opt = SpecializationCache::new(opt_policy);
+        self
+    }
+
     /// The program under analysis.
     pub fn program(&self) -> &P {
         &self.program
+    }
+
+    /// What this weak distance observes: only the targeted site's branch
+    /// events in [`BoundaryMode::Single`], every branch event otherwise.
+    fn observation_spec(&self) -> ObservationSpec {
+        match self.mode {
+            BoundaryMode::Single(target) => {
+                ObservationSpec::branches(SiteSet::Only([target.0].into()))
+            }
+            _ => ObservationSpec::branches(SiteSet::All),
+        }
     }
 }
 
@@ -121,12 +146,17 @@ impl<P: Analyzable> WeakDistance for BoundaryWeakDistance<P> {
 
     fn eval(&self, x: &[f64]) -> f64 {
         let mut obs = BoundaryObserver::new(self.mode);
-        self.program.run(x, &mut obs);
+        self.opt
+            .specialized(&self.program, &self.observation_spec())
+            .run(x, &mut obs);
         obs.w
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor(self.kernel_policy);
+        let mut session = self
+            .opt
+            .specialized(&self.program, &self.observation_spec())
+            .batch_executor(self.kernel_policy);
         crate::weak_distance::batch_observed(
             session.as_mut(),
             xs,
@@ -192,6 +222,7 @@ impl<P: Analyzable> BoundaryAnalysis<P> {
             program: &self.program,
             mode: BoundaryMode::Product,
             kernel_policy: config.kernel_policy,
+            opt: SpecializationCache::new(config.opt_policy),
         };
         minimize_weak_distance(&wd, config)
     }
@@ -224,6 +255,7 @@ impl<P: Analyzable> BoundaryAnalysis<P> {
             program: &self.program,
             mode: BoundaryMode::Single(site),
             kernel_policy: config.kernel_policy,
+            opt: SpecializationCache::new(config.opt_policy),
         };
         minimize_weak_distance(&wd, config)
     }

@@ -7,10 +7,10 @@
 //! the round budget is exhausted.
 
 use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
-use crate::weak_distance::WeakDistance;
+use crate::weak_distance::{SpecializationCache, WeakDistance};
 use fp_runtime::{
-    Analyzable, BranchCoverage, BranchEvent, BranchId, Interval, KernelPolicy, Observer,
-    ProbeControl,
+    Analyzable, BranchCoverage, BranchEvent, BranchId, Interval, KernelPolicy, ObservationSpec,
+    Observer, OptPolicy, ProbeControl, SiteSet,
 };
 use std::collections::BTreeSet;
 
@@ -48,6 +48,7 @@ pub struct CoverageWeakDistance<P> {
     program: P,
     covered: BTreeSet<(BranchId, bool)>,
     kernel_policy: KernelPolicy,
+    opt: SpecializationCache,
 }
 
 impl<P: Analyzable> CoverageWeakDistance<P> {
@@ -57,6 +58,7 @@ impl<P: Analyzable> CoverageWeakDistance<P> {
             program,
             covered,
             kernel_policy: KernelPolicy::Auto,
+            opt: SpecializationCache::default(),
         }
     }
 
@@ -66,6 +68,20 @@ impl<P: Analyzable> CoverageWeakDistance<P> {
     pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
         self
+    }
+
+    /// Selects whether evaluations may run a target-specialized
+    /// (translation-validated) variant of the program
+    /// ([`OptPolicy::Auto`] by default). Never changes values.
+    pub fn with_opt_policy(mut self, opt_policy: OptPolicy) -> Self {
+        self.opt = SpecializationCache::new(opt_policy);
+        self
+    }
+
+    /// What this weak distance observes: every branch event (the observer
+    /// folds — and may stop on — any of them).
+    fn observation_spec(&self) -> ObservationSpec {
+        ObservationSpec::branches(SiteSet::All)
     }
 }
 
@@ -83,12 +99,17 @@ impl<P: Analyzable> WeakDistance for CoverageWeakDistance<P> {
             covered: &self.covered,
             w: UNREACHED_PENALTY,
         };
-        self.program.run(x, &mut obs);
+        self.opt
+            .specialized(&self.program, &self.observation_spec())
+            .run(x, &mut obs);
         obs.w
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor(self.kernel_policy);
+        let mut session = self
+            .opt
+            .specialized(&self.program, &self.observation_spec())
+            .batch_executor(self.kernel_policy);
         crate::weak_distance::batch_observed(
             session.as_mut(),
             xs,
@@ -182,6 +203,7 @@ impl<P: Analyzable> CoverageAnalysis<P> {
                 program: &self.program,
                 covered: covered.clone(),
                 kernel_policy: config.kernel_policy,
+                opt: SpecializationCache::new(config.opt_policy),
             };
             let round_config = AnalysisConfig {
                 seed: config.seed.wrapping_add(rounds as u64 * 104_729),

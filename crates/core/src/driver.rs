@@ -40,7 +40,7 @@
 //! sharding for the lowest time-to-first-solution.
 
 use crate::weak_distance::{WeakDistance, WeakDistanceObjective};
-use fp_runtime::KernelPolicy;
+use fp_runtime::{KernelPolicy, OptPolicy};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use wdm_mo::{
     BasinHopping, CancelToken, DifferentialEvolution, GlobalMinimizer, MinimizeResult, MultiStart,
@@ -163,6 +163,15 @@ pub struct AnalysisConfig {
     /// default) or reallocate one run's budget adaptively
     /// ([`PortfolioPolicy::Adaptive`]).
     pub portfolio_policy: PortfolioPolicy,
+    /// Whether the weak distances may run a target-specialized
+    /// (translation-validated, [`Analyzable::specialize`]) variant of the
+    /// program under analysis. Like `kernel_policy`, the policy never
+    /// changes outcomes — a specialized program is only kept when it is
+    /// proved to produce a bit-identical observed event stream — only
+    /// per-evaluation cost.
+    ///
+    /// [`Analyzable::specialize`]: fp_runtime::Analyzable::specialize
+    pub opt_policy: OptPolicy,
 }
 
 impl AnalysisConfig {
@@ -178,6 +187,7 @@ impl AnalysisConfig {
             parallelism: 1,
             kernel_policy: KernelPolicy::Auto,
             portfolio_policy: PortfolioPolicy::Race,
+            opt_policy: OptPolicy::Auto,
         }
     }
 
@@ -193,6 +203,7 @@ impl AnalysisConfig {
             parallelism: 1,
             kernel_policy: KernelPolicy::Auto,
             portfolio_policy: PortfolioPolicy::Race,
+            opt_policy: OptPolicy::Auto,
         }
     }
 
@@ -241,6 +252,16 @@ impl AnalysisConfig {
     /// dispatches on.
     pub fn with_portfolio_policy(mut self, portfolio_policy: PortfolioPolicy) -> Self {
         self.portfolio_policy = portfolio_policy;
+        self
+    }
+
+    /// Sets the specialization policy the weak distances pass to
+    /// [`Analyzable::specialize`](fp_runtime::Analyzable::specialize).
+    /// Does not change the outcome — a specialized program is kept only
+    /// when translation validation proves its observed behavior
+    /// bit-identical — only per-evaluation cost.
+    pub fn with_opt_policy(mut self, opt_policy: OptPolicy) -> Self {
+        self.opt_policy = opt_policy;
         self
     }
 

@@ -62,4 +62,4 @@ pub use driver::{
     minimize_weak_distance_portfolio, statically_pruned_run, AnalysisConfig, BackendKind,
     MinimizationRun, Outcome, PortfolioPolicy, PortfolioRun,
 };
-pub use weak_distance::WeakDistance;
+pub use weak_distance::{SpecializationCache, WeakDistance};

@@ -10,9 +10,10 @@
 //! most `|L̄|` rounds plus the configured retry budget.
 
 use crate::driver::{minimize_weak_distance, AnalysisConfig, Outcome};
-use crate::weak_distance::WeakDistance;
+use crate::weak_distance::{SpecializationCache, WeakDistance};
 use fp_runtime::{
-    Analyzable, Interval, KernelPolicy, Observer, OpEvent, OpId, OpSite, ProbeControl,
+    Analyzable, Interval, KernelPolicy, ObservationSpec, Observer, OpEvent, OpId, OpSite,
+    OptPolicy, ProbeControl, SiteSet,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -51,6 +52,7 @@ pub struct OverflowWeakDistance<P> {
     program: P,
     skip: BTreeSet<OpId>,
     kernel_policy: KernelPolicy,
+    opt: SpecializationCache,
 }
 
 impl<P: Analyzable> OverflowWeakDistance<P> {
@@ -60,6 +62,7 @@ impl<P: Analyzable> OverflowWeakDistance<P> {
             program,
             skip,
             kernel_policy: KernelPolicy::Auto,
+            opt: SpecializationCache::default(),
         }
     }
 
@@ -69,6 +72,22 @@ impl<P: Analyzable> OverflowWeakDistance<P> {
     pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
         self
+    }
+
+    /// Selects whether evaluations may run a target-specialized
+    /// (translation-validated) variant of the program
+    /// ([`OptPolicy::Auto`] by default). Never changes values.
+    pub fn with_opt_policy(mut self, opt_policy: OptPolicy) -> Self {
+        self.opt = SpecializationCache::new(opt_policy);
+        self
+    }
+
+    /// What this weak distance observes: operation events at every
+    /// not-yet-handled site.
+    fn observation_spec(&self) -> ObservationSpec {
+        ObservationSpec::ops(SiteSet::Except(
+            self.skip.iter().map(|id| id.0).collect(),
+        ))
     }
 
     /// Evaluates and also reports the last tracked site — the `target`
@@ -82,7 +101,9 @@ impl<P: Analyzable> OverflowWeakDistance<P> {
             last_tracked: None,
             overflowed_at: None,
         };
-        self.program.run(x, &mut obs);
+        self.opt
+            .specialized(&self.program, &self.observation_spec())
+            .run(x, &mut obs);
         (obs.w, obs.last_tracked, obs.overflowed_at)
     }
 }
@@ -101,7 +122,10 @@ impl<P: Analyzable> WeakDistance for OverflowWeakDistance<P> {
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor(self.kernel_policy);
+        let mut session = self
+            .opt
+            .specialized(&self.program, &self.observation_spec())
+            .batch_executor(self.kernel_policy);
         crate::weak_distance::batch_observed(
             session.as_mut(),
             xs,
@@ -223,7 +247,8 @@ impl<P: Analyzable> OverflowDetector<P> {
         while handled.len() < all_ids.len() && rounds < max_rounds {
             rounds += 1;
             let wd = OverflowWeakDistance::new(&self.program, handled.clone())
-                .with_kernel_policy(config.kernel_policy);
+                .with_kernel_policy(config.kernel_policy)
+                .with_opt_policy(config.opt_policy);
             let round_config = AnalysisConfig {
                 seed: config.seed.wrapping_add(rounds as u64 * 7919),
                 ..config.clone()

@@ -9,10 +9,10 @@
 use crate::driver::{
     minimize_weak_distance, statically_pruned_run, AnalysisConfig, MinimizationRun, Outcome,
 };
-use crate::weak_distance::WeakDistance;
+use crate::weak_distance::{SpecializationCache, WeakDistance};
 use fp_runtime::{
-    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, Observer, ProbeControl,
-    TraceRecorder,
+    Analyzable, BranchEvent, BranchId, Interval, KernelPolicy, ObservationSpec, Observer,
+    OptPolicy, ProbeControl, SiteSet, TraceRecorder,
 };
 use std::collections::BTreeSet;
 
@@ -47,6 +47,7 @@ pub struct PathWeakDistance<P> {
     program: P,
     path: Path,
     kernel_policy: KernelPolicy,
+    opt: SpecializationCache,
 }
 
 impl<P: Analyzable> PathWeakDistance<P> {
@@ -56,6 +57,7 @@ impl<P: Analyzable> PathWeakDistance<P> {
             program,
             path,
             kernel_policy: KernelPolicy::Auto,
+            opt: SpecializationCache::default(),
         }
     }
 
@@ -65,6 +67,22 @@ impl<P: Analyzable> PathWeakDistance<P> {
     pub fn with_kernel_policy(mut self, kernel_policy: KernelPolicy) -> Self {
         self.kernel_policy = kernel_policy;
         self
+    }
+
+    /// Selects whether evaluations may run a target-specialized
+    /// (translation-validated) variant of the program
+    /// ([`OptPolicy::Auto`] by default). Never changes values.
+    pub fn with_opt_policy(mut self, opt_policy: OptPolicy) -> Self {
+        self.opt = SpecializationCache::new(opt_policy);
+        self
+    }
+
+    /// What this weak distance observes: branch events at the required
+    /// sites only.
+    fn observation_spec(&self) -> ObservationSpec {
+        ObservationSpec::branches(SiteSet::Only(
+            self.path.iter().map(|(site, _)| site.0).collect(),
+        ))
     }
 }
 
@@ -83,14 +101,19 @@ impl<P: Analyzable> WeakDistance for PathWeakDistance<P> {
             w: 0.0,
             reached: BTreeSet::new(),
         };
-        self.program.run(x, &mut obs);
+        self.opt
+            .specialized(&self.program, &self.observation_spec())
+            .run(x, &mut obs);
         let required: BTreeSet<BranchId> = self.path.iter().map(|(s, _)| *s).collect();
         let missing = required.difference(&obs.reached).count();
         obs.w + missing as f64 * UNREACHED_PENALTY
     }
 
     fn eval_batch(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
-        let mut session = self.program.batch_executor(self.kernel_policy);
+        let mut session = self
+            .opt
+            .specialized(&self.program, &self.observation_spec())
+            .batch_executor(self.kernel_policy);
         let required: BTreeSet<BranchId> = self.path.iter().map(|(s, _)| *s).collect();
         crate::weak_distance::batch_observed(
             session.as_mut(),
@@ -160,6 +183,7 @@ impl<P: Analyzable> PathAnalysis<P> {
             program: &self.program,
             path: path.clone(),
             kernel_policy: config.kernel_policy,
+            opt: SpecializationCache::new(config.opt_policy),
         };
         minimize_weak_distance(&wd, config)
     }

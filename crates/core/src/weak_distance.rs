@@ -1,6 +1,7 @@
 //! The weak-distance abstraction (Definition 3.1).
 
-use fp_runtime::{BatchExecutor, Interval, Observer};
+use fp_runtime::{Analyzable, BatchExecutor, Interval, ObservationSpec, Observer, OptPolicy};
+use std::sync::OnceLock;
 use wdm_mo::Objective;
 
 /// How many inputs the analysis instances hand to
@@ -35,6 +36,79 @@ pub(crate) fn batch_observed<O: Observer>(
             .collect();
         session.execute_many(chunk, &mut refs, &mut results);
         out.extend(observers.drain(..).map(&mut fold));
+    }
+}
+
+/// Lazily specializes a program against an analysis target's
+/// [`ObservationSpec`] under an [`OptPolicy`], caching the result for the
+/// lifetime of the weak distance.
+///
+/// The first evaluation triggers [`Analyzable::specialize`]; every later
+/// one reuses the outcome — either the translation-validated specialized
+/// program or the original (when the policy forbids specialization, the
+/// program has no optimizing backend, or validation rejected the rewrite).
+/// Cloning a cache produces a fresh, unfilled one with the same policy, so
+/// derived analyses re-specialize against their own target.
+pub struct SpecializationCache {
+    policy: OptPolicy,
+    cell: OnceLock<Option<Box<dyn Analyzable>>>,
+}
+
+impl SpecializationCache {
+    /// An empty cache with the given policy.
+    pub fn new(policy: OptPolicy) -> Self {
+        SpecializationCache {
+            policy,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The policy this cache specializes under.
+    pub fn policy(&self) -> OptPolicy {
+        self.policy
+    }
+
+    /// The program evaluations should run: the specialized variant when one
+    /// exists (computed against `spec` on first call), `program` otherwise.
+    pub fn specialized<'a>(
+        &'a self,
+        program: &'a dyn Analyzable,
+        spec: &ObservationSpec,
+    ) -> &'a dyn Analyzable {
+        match self
+            .cell
+            .get_or_init(|| program.specialize(spec, self.policy))
+        {
+            Some(p) => &**p,
+            None => program,
+        }
+    }
+
+    /// Whether the cache resolved to a specialized program (i.e. at least
+    /// one evaluation happened and specialization succeeded).
+    pub fn is_specialized(&self) -> bool {
+        matches!(self.cell.get(), Some(Some(_)))
+    }
+}
+
+impl Clone for SpecializationCache {
+    fn clone(&self) -> Self {
+        SpecializationCache::new(self.policy)
+    }
+}
+
+impl Default for SpecializationCache {
+    fn default() -> Self {
+        SpecializationCache::new(OptPolicy::default())
+    }
+}
+
+impl std::fmt::Debug for SpecializationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecializationCache")
+            .field("policy", &self.policy)
+            .field("specialized", &self.is_specialized())
+            .finish()
     }
 }
 

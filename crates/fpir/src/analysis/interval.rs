@@ -81,13 +81,26 @@ impl AbsVal {
     }
 
     /// True if the numeric range is non-empty.
-    fn has_num(&self) -> bool {
+    pub(crate) fn has_num(&self) -> bool {
         self.lo <= self.hi
+    }
+
+    /// True if this abstraction admits exactly one bit pattern — the value
+    /// the optimizer's constant propagation may fold. Bit-level equality of
+    /// the endpoints (not `==`) keeps `-0.0`/`0.0` distinct, and a NaN
+    /// possibility disqualifies the value outright (NaN payloads are not
+    /// tracked, so "the" NaN is not a single bit pattern).
+    pub(crate) fn singleton(&self) -> Option<f64> {
+        if !self.nan && self.has_num() && self.lo.to_bits() == self.hi.to_bits() {
+            Some(self.lo)
+        } else {
+            None
+        }
     }
 
     /// True if the numeric range may contain `v` (exact comparison; `-0.0`
     /// and `0.0` compare equal, which is what IEEE comparisons need).
-    fn may_be(&self, v: f64) -> bool {
+    pub(crate) fn may_be(&self, v: f64) -> bool {
         self.has_num() && self.lo <= v && v <= self.hi
     }
 
@@ -131,7 +144,7 @@ impl AbsVal {
 
     /// Widening: any endpoint that moved since `older` goes straight to its
     /// infinity, guaranteeing termination of the block fixpoint.
-    fn widen_from(&self, older: &AbsVal) -> AbsVal {
+    pub(crate) fn widen_from(&self, older: &AbsVal) -> AbsVal {
         let mut r = *self;
         if older.has_num() && self.has_num() {
             if self.lo < older.lo {
@@ -199,9 +212,11 @@ fn from_corners(corners: &[f64], mut nan: bool) -> AbsVal {
 
 /// Abstract transfer of a binary operation.
 pub fn abs_bin(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
-    // NaN operands propagate through arithmetic; min/max absorb them.
+    // NaN operands propagate through arithmetic; min/max absorb them, and
+    // pow does not propagate unconditionally (`powf(NaN, 0) == 1.0` and
+    // `powf(1.0, NaN) == 1.0`), so both skip the short-circuit.
     let prop_nan = a.nan || b.nan;
-    if !matches!(op, BinOp::Min | BinOp::Max) && (!a.has_num() || !b.has_num()) {
+    if !matches!(op, BinOp::Min | BinOp::Max | BinOp::Pow) && (!a.has_num() || !b.has_num()) {
         return AbsVal::empty_num(prop_nan || !a.has_num() || !b.has_num());
     }
     match op {
@@ -341,8 +356,10 @@ pub fn abs_cmp(cmp: Cmp, a: AbsVal, b: AbsVal) -> Option<bool> {
 
 /// `(may_be_true, may_be_false)` of `lhs cmp rhs` over the operand ranges,
 /// with IEEE NaN semantics (every comparison involving NaN is false, except
-/// `!=` which is true).
-fn cmp_possibilities(cmp: Cmp, a: AbsVal, b: AbsVal) -> (bool, bool) {
+/// `!=` which is true). Shared with the optimizer's sparse conditional
+/// constant propagation, which folds a branch only when one side is
+/// impossible.
+pub(crate) fn cmp_possibilities(cmp: Cmp, a: AbsVal, b: AbsVal) -> (bool, bool) {
     let mut may_true = false;
     let mut may_false = false;
     if a.nan || b.nan {
@@ -947,6 +964,110 @@ mod tests {
         assert!(r.nan);
         assert!(r.contains(3.0) && r.contains(0.0));
         assert!(!r.contains(-1.0));
+    }
+
+    /// The concrete values whose interactions make `min`/`max`/`powf`
+    /// NaN-interesting: signed zeros, infinities, NaN, ordinary numbers.
+    fn specials() -> Vec<f64> {
+        vec![
+            f64::NAN,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            -0.0,
+            0.0,
+            -1.0,
+            1.0,
+            0.5,
+            -2.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ]
+    }
+
+    #[test]
+    fn min_max_transfer_covers_every_special_pair() {
+        // SCCP folds `min`/`max` results out of singleton operands, so the
+        // abstract transfer must cover the *exact* `f64::min`/`f64::max`
+        // result — including the NaN-absorbing cases where Rust returns the
+        // non-NaN operand, not NaN.
+        for op in [BinOp::Min, BinOp::Max] {
+            for &a in &specials() {
+                for &b in &specials() {
+                    let concrete = op.apply(a, b);
+                    let abs = abs_bin(op, AbsVal::exact(a), AbsVal::exact(b));
+                    assert!(
+                        abs.contains(concrete),
+                        "{op:?}({a}, {b}) = {concrete} escapes {abs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_nan_flag_requires_both_operands_nan() {
+        // min(NaN, x) = x and max(x, NaN) = x in Rust: the result is NaN
+        // only when *both* operands are NaN. A spurious NaN flag would be
+        // sound but would block folding; a missing one would be a bug.
+        let num = v(3.0, 4.0);
+        let nan = AbsVal::exact(f64::NAN);
+        for op in [BinOp::Min, BinOp::Max] {
+            assert!(!abs_bin(op, nan, num).nan, "{op:?}(NaN, num) is numeric");
+            assert!(!abs_bin(op, num, nan).nan, "{op:?}(num, NaN) is numeric");
+            assert!(abs_bin(op, nan, nan).nan, "{op:?}(NaN, NaN) is NaN");
+            let maybe = AbsVal {
+                lo: 1.0,
+                hi: 2.0,
+                nan: true,
+            };
+            let r = abs_bin(op, maybe, num);
+            assert!(!r.nan, "a may-NaN side still yields the other range");
+            assert!(r.contains(3.5), "NaN side substitutes the other range");
+        }
+    }
+
+    #[test]
+    fn min_max_singletons_fold_to_apply_bits() {
+        // The folding rule: singleton operands fold to BinOp::apply's exact
+        // bit pattern. min(-0.0, 0.0) is whichever operand Rust's
+        // `f64::min` picks — assert the abstract transfer admits it and
+        // that the fold source (`apply`) is what the interpreter runs.
+        let cases = [(-0.0, 0.0), (0.0, -0.0), (1.0, 1.0), (-1.0, 2.0)];
+        for op in [BinOp::Min, BinOp::Max] {
+            for (a, b) in cases {
+                let folded = op.apply(a, b);
+                let abs = abs_bin(op, AbsVal::exact(a), AbsVal::exact(b));
+                assert!(abs.contains(folded), "{op:?}({a:?}, {b:?})");
+            }
+        }
+        // Signed-zero singletons stay distinguishable at the bit level:
+        // an abstraction spanning [-0.0, 0.0] must not report a singleton.
+        assert_eq!(AbsVal::exact(-0.0).singleton().map(f64::to_bits),
+                   Some((-0.0f64).to_bits()));
+        assert_eq!(AbsVal::num(-0.0, 0.0).singleton(), None);
+        assert_eq!(AbsVal::exact(f64::NAN).singleton(), None);
+    }
+
+    #[test]
+    fn pow_transfer_covers_every_special_pair() {
+        // Pow's abstract transfer is `top`; folding relies on the singleton
+        // path computing `powf` itself. Pin both: top covers every special
+        // pair (including the NaN results of e.g. (-1.5).powf(0.5)), and
+        // NaN results are flagged so SCCP refuses to fold them.
+        for &a in &specials() {
+            for &b in &specials() {
+                let concrete = BinOp::Pow.apply(a, b);
+                let abs = abs_bin(BinOp::Pow, AbsVal::exact(a), AbsVal::exact(b));
+                assert!(
+                    abs.contains(concrete),
+                    "powf({a}, {b}) = {concrete} escapes {abs:?}"
+                );
+            }
+        }
+        assert!(
+            BinOp::Pow.apply(-1.5, 0.5).is_nan(),
+            "negative base, fractional exponent is the NaN case folding must skip"
+        );
     }
 
     #[test]

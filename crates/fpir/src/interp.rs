@@ -249,6 +249,32 @@ impl Interpreter {
         Ok((ret, state.globals))
     }
 
+    /// Executes and also reports how many instructions ran (the fuel
+    /// consumed), the measurement behind the `opt_speedup` benchmark's
+    /// per-evaluation instruction counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::execute`].
+    pub fn execute_counting(
+        &self,
+        module: &Module,
+        func: FuncId,
+        args: &[f64],
+        ctx: &mut Ctx<'_>,
+    ) -> Result<(Option<f64>, u64), ExecError> {
+        let function = module.function(func);
+        if args.len() != function.num_params {
+            return Err(ExecError::ArityMismatch {
+                expected: function.num_params,
+                got: args.len(),
+            });
+        }
+        let mut state = ExecState::new(self, module);
+        let ret = Self::exec_function(&mut state, func, args, ctx, 0)?;
+        Ok((ret, self.fuel - state.fuel))
+    }
+
     /// Batch-interpret mode: sets the program up once (entry lookup,
     /// globals buffer, register-frame pool) and runs every input of
     /// `inputs` over it, giving each input a fresh probe context over
@@ -530,6 +556,62 @@ impl ModuleProgram {
         self.interpreter
             .execute_with_globals(&self.module, self.entry, input, &mut ctx)
     }
+
+    /// Executes the entry function on `input` under a silent observer and
+    /// returns how many instructions ran, or `None` if the execution
+    /// errored. Used by benchmarks to measure specialization wins.
+    pub fn instructions_executed(&self, input: &[f64]) -> Option<u64> {
+        let mut observer = fp_runtime::NullObserver;
+        let mut ctx = Ctx::new(&mut observer);
+        self.interpreter
+            .execute_counting(&self.module, self.entry, input, &mut ctx)
+            .ok()
+            .map(|(_, n)| n)
+    }
+
+    /// Runs the optimizing pass pipeline ([`crate::opt::specialize`])
+    /// against `spec` and returns the specialized program together with the
+    /// pipeline's statistics, or `None` when the policy forbids it, the
+    /// rewrite failed translation validation, or (`Auto`) nothing was
+    /// removed.
+    ///
+    /// The specialized program keeps this program's domain and interpreter
+    /// configuration; its static analysis is recomputed from the optimized
+    /// module, so liveness-compacted frame layouts shrink along with the
+    /// code.
+    pub fn specialized_with_stats(
+        &self,
+        spec: &fp_runtime::ObservationSpec,
+        policy: fp_runtime::OptPolicy,
+    ) -> Option<(ModuleProgram, crate::opt::OptStats)> {
+        use fp_runtime::OptPolicy;
+        if matches!(policy, OptPolicy::Never) {
+            return None;
+        }
+        let (module, stats) =
+            crate::opt::specialize(&self.module, self.entry, &self.domain, spec).ok()?;
+        if matches!(policy, OptPolicy::Auto) && !stats.removed_anything() {
+            return None;
+        }
+        let program = ModuleProgram {
+            module,
+            entry: self.entry,
+            name: format!("{} [opt]", self.name),
+            domain: self.domain.clone(),
+            interpreter: self.interpreter.clone(),
+            statics: OnceLock::new(),
+        };
+        Some((program, stats))
+    }
+
+    /// [`ModuleProgram::specialized_with_stats`] without the statistics.
+    pub fn specialized(
+        &self,
+        spec: &fp_runtime::ObservationSpec,
+        policy: fp_runtime::OptPolicy,
+    ) -> Option<ModuleProgram> {
+        self.specialized_with_stats(spec, policy).map(|(p, _)| p)
+    }
 }
 
 /// One scalar-session execution: the arity check, state rearm and
@@ -634,6 +716,17 @@ impl Analyzable for ModuleProgram {
                 program: self,
             })
         }
+    }
+
+    /// Runs the optimizing pipeline and hands the result back as a boxed
+    /// [`Analyzable`] (see [`ModuleProgram::specialized_with_stats`]).
+    fn specialize(
+        &self,
+        spec: &fp_runtime::ObservationSpec,
+        policy: fp_runtime::OptPolicy,
+    ) -> Option<Box<dyn Analyzable>> {
+        self.specialized(spec, policy)
+            .map(|p| Box::new(p) as Box<dyn Analyzable>)
     }
 }
 

@@ -50,6 +50,7 @@ pub mod instrument;
 pub mod interp;
 pub mod ir;
 pub mod kernel;
+pub mod opt;
 pub mod programs;
 pub mod validate;
 
@@ -57,6 +58,7 @@ pub use analysis::{ModuleAnalysis, StaticInfo};
 pub use builder::{FunctionBuilder, ModuleBuilder};
 pub use interp::{ExecError, Interpreter, ModuleProgram};
 pub use kernel::{supports_lanewise, KernelExecutor};
+pub use opt::{specialize, OptStats, SpecializeError};
 pub use ir::{
     BinOp, Block, BlockId, FuncId, Function, GlobalId, Inst, Module, Reg, Terminator, UnOp,
 };

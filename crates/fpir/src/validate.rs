@@ -475,6 +475,64 @@ mod tests {
         }));
     }
 
+    /// A buggy slice that deletes the definition of a register whose uses
+    /// survive must not pass the post-optimization verifier: the
+    /// zero-filled frame would silently change the surviving branch and
+    /// store.
+    #[test]
+    fn rejects_slice_that_drops_a_live_definition() {
+        let mut m = good_module();
+        // "Slice away" y = x + 1 while its branch/store/return uses stay.
+        m.functions[0].blocks[0]
+            .insts
+            .retain(|i| !matches!(i, crate::ir::Inst::Bin { .. }));
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err, ValidationError::UseBeforeDef { .. }));
+        assert!(err.to_string().contains("not written on every path"));
+    }
+
+    /// A buggy slice that drops a function from the table while a call to
+    /// it survives (the W-driver shape: entry calling the subject) must be
+    /// rejected, not resolved to garbage.
+    #[test]
+    fn rejects_slice_that_removes_a_called_function() {
+        let mut mb = ModuleBuilder::new();
+        let mut d = mb.function("driver", 1);
+        let x = d.param(0);
+        let r = d.call(crate::ir::FuncId(1), vec![x]);
+        d.ret(Some(r));
+        d.finish();
+        let mut c = mb.function("callee", 1);
+        let y = c.param(0);
+        c.ret(Some(y));
+        c.finish();
+        let mut m = mb.build();
+        assert_eq!(validate(&m), Ok(()));
+        m.functions.pop();
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err, ValidationError::BadCall { .. }));
+        assert!(err.to_string().contains("does not exist"));
+    }
+
+    /// A buggy slice that compacts the global table while a surviving load
+    /// still reads the dropped cell must be rejected.
+    #[test]
+    fn rejects_slice_that_drops_a_loaded_global() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.global("w", 0.0);
+        let mut f = mb.function("reader", 0);
+        let v = f.load_global(w);
+        f.ret(Some(v));
+        f.finish();
+        let mut m = mb.build();
+        assert_eq!(validate(&m), Ok(()));
+        m.globals.clear();
+        assert!(matches!(
+            validate(&m).unwrap_err(),
+            ValidationError::BadGlobal { .. }
+        ));
+    }
+
     #[test]
     fn rejects_bad_param_index() {
         let mut m = good_module();

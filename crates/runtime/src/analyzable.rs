@@ -11,6 +11,7 @@ use crate::event::{BranchId, BranchSite, OpId, OpSite};
 use crate::interval::Interval;
 use crate::probe::Ctx;
 use crate::recorder::Observer;
+use std::collections::BTreeSet;
 
 /// What a static analysis can prove about whether a runtime target (a
 /// branch direction, a branch boundary, an operation site) can occur.
@@ -62,6 +63,124 @@ pub enum KernelPolicy {
     /// Never use the kernel backend, even when available. Useful as the
     /// reference side of equivalence tests and benchmarks.
     Never,
+}
+
+/// Selects whether a program may hand out a target-specialized (optimized)
+/// variant of itself through [`Analyzable::specialize`].
+///
+/// Programs with an optimizing backend — today the `fpir` interpreter's
+/// `opt` pass pipeline — use the policy to decide whether a
+/// translation-validated, observation-preserving rewrite of the module
+/// replaces the original for evaluation. Programs without one (hand
+/// instrumented Rust ports, closures) ignore the policy. Every specialized
+/// variant is required to produce **bit-identical** observed semantics
+/// (retained events, results), so the policy only ever changes per-eval
+/// cost, never outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptPolicy {
+    /// Specialize when the program supports it, translation validation
+    /// passes, and the rewrite actually removed work. The default.
+    #[default]
+    Auto,
+    /// Keep the specialized variant whenever validation passes, even when
+    /// the rewrite removed nothing (useful for exercising the seam).
+    Always,
+    /// Never specialize. Useful as the reference side of equivalence tests
+    /// and benchmarks.
+    Never,
+}
+
+/// A set of static site identifiers, in a form that can also describe the
+/// open-ended "everything except these" sets observers use.
+///
+/// Raw `u32` indices are used so one set type serves both
+/// [`OpId`](crate::event::OpId) and [`BranchId`] sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteSet {
+    /// Every site.
+    All,
+    /// Exactly these sites.
+    Only(BTreeSet<u32>),
+    /// Every site except these (e.g. overflow detection observes every
+    /// operation site not yet handled, module-wide).
+    Except(BTreeSet<u32>),
+}
+
+impl SiteSet {
+    /// The empty set.
+    pub fn none() -> Self {
+        SiteSet::Only(BTreeSet::new())
+    }
+
+    /// True if `id` is a member of the set.
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            SiteSet::All => true,
+            SiteSet::Only(set) => set.contains(&id),
+            SiteSet::Except(set) => !set.contains(&id),
+        }
+    }
+}
+
+/// What a weak-distance target actually observes about executions of a
+/// program: which event sites it folds over, and whether it reads the
+/// program's global cells after a run.
+///
+/// [`Analyzable::specialize`] receives this spec and may drop any event or
+/// computation **outside** the observation set, as long as everything inside
+/// it — the retained events (payloads and order) and the stop behavior they
+/// induce, plus the returned value and final globals when observed — stays
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservationSpec {
+    /// The branch sites whose events are observed.
+    pub branches: SiteSet,
+    /// The operation sites whose events are observed.
+    pub ops: SiteSet,
+    /// Whether the entry function's returned value is observed. The
+    /// event-folding weak distances never read it — their value lives
+    /// entirely in the observer — which is what lets specialization slice
+    /// away the return-value computation.
+    pub return_value: bool,
+    /// Whether final global-cell values are observed after a run.
+    pub globals: bool,
+}
+
+impl ObservationSpec {
+    /// Observes every event, the returned value and the globals: the
+    /// identity spec, under which specialization may only remove provably
+    /// dead computation.
+    pub fn everything() -> Self {
+        ObservationSpec {
+            branches: SiteSet::All,
+            ops: SiteSet::All,
+            return_value: true,
+            globals: true,
+        }
+    }
+
+    /// Observes only the given branch sites (no operation events, no return
+    /// value, no globals) — the shape of boundary, path and coverage
+    /// targets.
+    pub fn branches(branches: SiteSet) -> Self {
+        ObservationSpec {
+            branches,
+            ops: SiteSet::none(),
+            return_value: false,
+            globals: false,
+        }
+    }
+
+    /// Observes only the given operation sites (no branch events, no return
+    /// value, no globals) — the shape of overflow targets.
+    pub fn ops(ops: SiteSet) -> Self {
+        ObservationSpec {
+            branches: SiteSet::none(),
+            ops,
+            return_value: false,
+            globals: false,
+        }
+    }
 }
 
 /// A floating-point program with input domain `F^N` that can be executed
@@ -153,6 +272,30 @@ pub trait Analyzable: Send + Sync {
     fn op_site_reachability(&self, site: OpId) -> Reachability {
         let _ = site;
         Reachability::Unknown
+    }
+
+    /// Returns a target-specialized variant of this program that preserves
+    /// exactly the observations in `spec`, or `None` when the program has no
+    /// optimizing backend, the policy forbids it, or the rewrite could not
+    /// be translation-validated.
+    ///
+    /// The contract is strict: for every input **inside the search domain**,
+    /// the specialized program must produce a bit-identical stream of events
+    /// at the sites `spec` retains (payloads and order) — so any observer
+    /// folding over those events, including one that requests an early stop,
+    /// sees identical behavior — plus a bit-identical returned value and
+    /// final globals when `spec` observes them. Out-of-domain inputs carry
+    /// no guarantee; the analyses' evaluation pipeline clamps every
+    /// candidate into the domain before evaluating. Callers fall back to
+    /// the original program on `None`; the default implementation (no
+    /// optimizing backend) always returns `None`.
+    fn specialize(
+        &self,
+        spec: &ObservationSpec,
+        policy: OptPolicy,
+    ) -> Option<Box<dyn Analyzable>> {
+        let _ = (spec, policy);
+        None
     }
 }
 
@@ -248,6 +391,14 @@ impl<P: Analyzable + ?Sized> Analyzable for &P {
 
     fn op_site_reachability(&self, site: OpId) -> Reachability {
         (**self).op_site_reachability(site)
+    }
+
+    fn specialize(
+        &self,
+        spec: &ObservationSpec,
+        policy: OptPolicy,
+    ) -> Option<Box<dyn Analyzable>> {
+        (**self).specialize(spec, policy)
     }
 }
 
@@ -444,6 +595,43 @@ mod tests {
         let mut session = p.batch_executor(KernelPolicy::default());
         let mut results = Vec::new();
         session.execute_many(&[vec![1.0]], &mut [], &mut results);
+    }
+
+    #[test]
+    fn site_set_membership() {
+        assert!(SiteSet::All.contains(7));
+        assert!(!SiteSet::none().contains(0));
+        let only = SiteSet::Only([1u32, 3].into_iter().collect());
+        assert!(only.contains(1));
+        assert!(!only.contains(2));
+        let except = SiteSet::Except([1u32].into_iter().collect());
+        assert!(!except.contains(1));
+        assert!(except.contains(2));
+    }
+
+    #[test]
+    fn observation_spec_constructors() {
+        let all = ObservationSpec::everything();
+        assert!(all.branches.contains(0) && all.ops.contains(9) && all.globals);
+        assert!(all.return_value);
+        let b = ObservationSpec::branches(SiteSet::Only([2u32].into_iter().collect()));
+        assert!(b.branches.contains(2) && !b.ops.contains(0) && !b.globals);
+        assert!(!b.return_value);
+        let o = ObservationSpec::ops(SiteSet::Except([4u32].into_iter().collect()));
+        assert!(!o.branches.contains(0) && o.ops.contains(5) && !o.ops.contains(4));
+    }
+
+    #[test]
+    fn default_specialize_is_none() {
+        let p = toy();
+        for policy in [OptPolicy::Auto, OptPolicy::Always, OptPolicy::Never] {
+            assert!(p.specialize(&ObservationSpec::everything(), policy).is_none());
+            // The &P blanket impl forwards the default too.
+            let by_ref = &p;
+            assert!(by_ref
+                .specialize(&ObservationSpec::everything(), policy)
+                .is_none());
+        }
     }
 
     #[test]

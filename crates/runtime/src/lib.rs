@@ -57,7 +57,10 @@ pub mod interval;
 pub mod probe;
 pub mod recorder;
 
-pub use analyzable::{Analyzable, BatchExecutor, ClosureProgram, KernelPolicy, Reachability};
+pub use analyzable::{
+    Analyzable, BatchExecutor, ClosureProgram, KernelPolicy, ObservationSpec, OptPolicy,
+    Reachability, SiteSet,
+};
 pub use cancel::CancelToken;
 pub use event::{BranchEvent, BranchId, BranchSite, Cmp, Event, FpOp, OpEvent, OpId, OpSite};
 pub use interval::Interval;

@@ -192,13 +192,14 @@ fn kill_and_resume_replays_to_the_identical_report() {
                     .expect("service accepts submissions")
             })
             .collect();
-        for _ in &kinds {
+        // An already-admitted job may stream progress before the next
+        // job's admission arrives; scan until both admissions are seen.
+        let mut admitted = [false; 2];
+        while !admitted.iter().all(|&a| a) {
             let event = events.recv_timeout(EVENT_TIMEOUT).expect("admission event");
-            match event.kind {
-                EventKind::Admitted { resumed_at_turn } => {
-                    assert!(resumed_at_turn > 0, "job {} resumed from disk", event.job)
-                }
-                other => panic!("expected admission first, got {other:?}"),
+            if let EventKind::Admitted { resumed_at_turn } = event.kind {
+                assert!(resumed_at_turn > 0, "job {} resumed from disk", event.job);
+                admitted[event.job.0] = true;
             }
         }
         for (i, id) in ids.into_iter().enumerate() {
