@@ -1,0 +1,216 @@
+//! Measures what plateau-triggered escalation buys the adaptive
+//! portfolio: a family of shelf workloads whose reward signal flatlines
+//! (a huge log-sampled domain, a flat shelf around an off-center
+//! magnitude, and a narrow zero basin hidden inside the shelf) is run
+//! once with the pure adaptive policy and once with escalation enabled,
+//! from the same seeds.
+//!
+//! On the shelf the bandit's per-slice improvements go quiet, so the
+//! pure policy strands at the shelf value unless a backend stumbles
+//! into the basin; the escalated runs detect the plateau, tighten the
+//! box around the incumbent and spawn polish + uniform-restart arms
+//! that sweep the shelf. The headline is how many instances escalation
+//! rescues (solves where pure missed) and at what evaluation spend. A
+//! zero-free control shelf checks that the detector does not regress
+//! workloads with nothing to find.
+//!
+//! Usage: `escalation_speedup [--smoke] [--threads N] [--json <path>]`
+//! (the JSON report is `BENCH_escalation.json` when `--json` targets a
+//! directory).
+
+use serde::Serialize;
+use std::time::Instant;
+use wdm_core::adaptive::minimize_weak_distance_adaptive;
+use wdm_core::weak_distance::FnWeakDistance;
+use wdm_core::{AnalysisConfig, BackendKind, EscalationConfig, WeakDistance};
+
+/// Shelf center: an awkward magnitude the log-uniform domain sampling
+/// rarely lands on, far from the domain center the descent backends
+/// polish toward.
+const CENTER: f64 = 8.765_432_1e6;
+/// Flat-shelf radius around the center.
+const SHELF: f64 = 500.0;
+/// Zero-basin radius; the basin hides off-center inside the shelf.
+const BASIN: f64 = 1.0;
+
+/// The plateau workload: flat shelf in a huge domain, with (or, for the
+/// control, without) a hidden zero basin.
+fn plateau(with_basin: bool) -> FnWeakDistance<impl Fn(&[f64]) -> f64> {
+    FnWeakDistance::new(
+        1,
+        vec![fp_runtime::Interval::symmetric(1.0e8)],
+        move |x: &[f64]| {
+            let d = (x[0] - CENTER).abs();
+            if with_basin && (x[0] - (CENTER + 0.8 * SHELF)).abs() <= BASIN {
+                0.0
+            } else if d <= SHELF {
+                0.5
+            } else {
+                0.5 + (d - SHELF) / 1.0e8
+            }
+        },
+    )
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PolicyResult {
+    found: bool,
+    evals: usize,
+    /// Escalation events, counted off the portfolio report (spawned
+    /// arms beyond the base backends, two per event).
+    escalations: usize,
+    seconds: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct InstanceReport {
+    seed: u64,
+    pure: PolicyResult,
+    escalated: PolicyResult,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct EscalationReport {
+    smoke: bool,
+    threads: usize,
+    rounds: usize,
+    max_evals: usize,
+    instances: Vec<InstanceReport>,
+    control: Vec<InstanceReport>,
+    /// The headline counts over the basin instances.
+    pure_found: usize,
+    escalated_found: usize,
+    /// Instances escalation solved that the pure policy missed.
+    rescued: usize,
+    /// Instances the pure policy solved that escalation missed.
+    lost: usize,
+    /// Control (zero-free) evaluation spend, escalated over pure.
+    control_eval_ratio: f64,
+}
+
+fn run(wd: &dyn WeakDistance, config: &AnalysisConfig, base_arms: usize) -> PolicyResult {
+    let started = Instant::now();
+    let run = minimize_weak_distance_adaptive(wd, config, &BackendKind::all());
+    let seconds = started.elapsed().as_secs_f64();
+    PolicyResult {
+        found: run.outcome().is_found(),
+        evals: run.outcome().evals(),
+        escalations: run.entries.len().saturating_sub(base_arms) / 2,
+        seconds,
+    }
+}
+
+fn compare(seed: u64, with_basin: bool, threads: usize, rounds: usize, max_evals: usize) -> InstanceReport {
+    let wd = plateau(with_basin);
+    let base_arms = BackendKind::all().len();
+    let pure_config = AnalysisConfig::quick(seed)
+        .with_rounds(rounds)
+        .with_max_evals(max_evals)
+        .with_parallelism(threads);
+    let escalated_config = pure_config.clone().with_escalation(
+        EscalationConfig::default()
+            .with_threshold(0.25)
+            .with_patience(2)
+            .with_tighten(1.5e-5),
+    );
+    InstanceReport {
+        seed,
+        pure: run(&wd, &pure_config, base_arms),
+        escalated: run(&wd, &escalated_config, base_arms),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::env::var("WDM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(4)
+        });
+    // The budget shapes the plateau: two restart rounds of 6k keep the
+    // shelf discoverable but the basin out of the pure policy's reach
+    // on most seeds. Smoke mode trims the seed count, not the budget —
+    // a smaller pool would change what "plateau" means.
+    let (rounds, max_evals) = (2, 6_000);
+    let seeds: Vec<u64> = if smoke { (40..46).collect() } else { (40..70).collect() };
+    let control_seeds: Vec<u64> = if smoke {
+        (40..43).collect()
+    } else {
+        (40..50).collect()
+    };
+
+    println!(
+        "Plateau-escalation experiment ({} mode, {} instances, {rounds} rounds x {max_evals} \
+         evals, {threads} workers)",
+        if smoke { "smoke" } else { "full" },
+        seeds.len(),
+    );
+    println!(
+        "{:<6} {:>6} {:>12} | {:>6} {:>12} {:>12}",
+        "seed", "pure", "pure evals", "esc", "esc evals", "escalations"
+    );
+
+    let instances: Vec<InstanceReport> = seeds
+        .iter()
+        .map(|&seed| {
+            let r = compare(seed, true, threads, rounds, max_evals);
+            println!(
+                "{:<6} {:>6} {:>12} | {:>6} {:>12} {:>12}",
+                r.seed,
+                if r.pure.found { "hit" } else { "miss" },
+                r.pure.evals,
+                if r.escalated.found { "hit" } else { "miss" },
+                r.escalated.evals,
+                r.escalated.escalations,
+            );
+            r
+        })
+        .collect();
+    let control: Vec<InstanceReport> = control_seeds
+        .iter()
+        .map(|&seed| compare(seed, false, threads, rounds, max_evals))
+        .collect();
+
+    let pure_found = instances.iter().filter(|r| r.pure.found).count();
+    let escalated_found = instances.iter().filter(|r| r.escalated.found).count();
+    let rescued = instances
+        .iter()
+        .filter(|r| r.escalated.found && !r.pure.found)
+        .count();
+    let lost = instances
+        .iter()
+        .filter(|r| r.pure.found && !r.escalated.found)
+        .count();
+    let (control_pure, control_esc) = control.iter().fold((0usize, 0usize), |acc, r| {
+        (acc.0 + r.pure.evals, acc.1 + r.escalated.evals)
+    });
+    let report = EscalationReport {
+        smoke,
+        threads,
+        rounds,
+        max_evals,
+        pure_found,
+        escalated_found,
+        rescued,
+        lost,
+        control_eval_ratio: control_esc as f64 / control_pure.max(1) as f64,
+        instances,
+        control,
+    };
+    println!(
+        "escalation solved {escalated_found}/{} instances (pure policy: {pure_found}; rescued \
+         {rescued}, lost {lost}); control eval ratio {:.2}x",
+        report.instances.len(),
+        report.control_eval_ratio
+    );
+    wdm_bench::emit_json("escalation", &report);
+}

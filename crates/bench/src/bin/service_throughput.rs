@@ -118,7 +118,7 @@ fn run_workload(
             }
             EventKind::Checkpointed { .. } => checkpoints += 1,
             EventKind::Finished { .. } | EventKind::Cancelled => finished += 1,
-            EventKind::Admitted { .. } => {}
+            EventKind::Admitted { .. } | EventKind::Escalated { .. } => {}
         }
     }
     let signatures: Vec<(usize, u64)> = ids

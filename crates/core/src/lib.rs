@@ -54,12 +54,12 @@ pub mod weak_distance;
 
 pub use adaptive::{
     minimize_weak_distance_adaptive, minimize_weak_distance_adaptive_cancellable,
-    AdaptivePortfolio, SteppedAnalysis,
+    AdaptivePortfolio, EscalationHandoff, SteppedAnalysis,
 };
-pub use checkpoint::{AdaptiveCheckpoint, AnalysisCheckpoint};
+pub use checkpoint::{AdaptiveCheckpoint, AnalysisCheckpoint, EscalationCkpt};
 pub use driver::{
     derive_round_seed, minimize_weak_distance, minimize_weak_distance_cancellable,
     minimize_weak_distance_portfolio, statically_pruned_run, AnalysisConfig, BackendKind,
-    MinimizationRun, Outcome, PortfolioPolicy, PortfolioRun,
+    EscalationConfig, MinimizationRun, Outcome, PortfolioPolicy, PortfolioRun,
 };
 pub use weak_distance::{SpecializationCache, WeakDistance};

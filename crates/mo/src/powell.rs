@@ -6,7 +6,8 @@
 //! directions (Powell 1964).
 //!
 //! Powell is a *true stepped backend*: the run suspends between outer
-//! conjugate-direction iterations ([`PowellStep`] is private; see
+//! conjugate-direction iterations (`PowellStep`, shared with the
+//! [`Polish`](crate::Polish) escalation machine; see
 //! [`SteppedMinimizer`]), carrying the evolving direction set, the current
 //! point and the evaluator bookkeeping across slices. Sliced execution is
 //! bit-identical to the unsliced run — both the local
@@ -90,7 +91,7 @@ impl Powell {
 /// iterations* — an iteration's chain of line searches shares bracketing
 /// state that cannot be split without changing the evaluation sequence, so
 /// the iteration boundary is the finest safe checkpoint.
-struct PowellStep {
+pub(crate) struct PowellStep {
     cfg: Powell,
     started: bool,
     dirs: Vec<Vec<f64>>,
@@ -105,7 +106,7 @@ impl PowellStep {
     /// Captures the initial state of a run from the explicit start point
     /// `x0` (the local interface; the global interface samples `x0` from
     /// the seed first). No objective evaluation happens here.
-    fn from_x0(cfg: Powell, problem: &Problem<'_>, x0: Vec<f64>) -> Self {
+    pub(crate) fn from_x0(cfg: Powell, problem: &Problem<'_>, x0: Vec<f64>) -> Self {
         let n = x0.len();
         // Initial directions: the coordinate axes, scaled to the magnitude of
         // the starting point so that huge-magnitude coordinates can move.

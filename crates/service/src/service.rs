@@ -31,7 +31,7 @@
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -123,11 +123,16 @@ pub struct ServiceConfig {
     /// Turns between durable checkpoint writes (terminal states are
     /// always written). Clamped to at least 1.
     pub checkpoint_every: u64,
+    /// Progress-stream buffer per subscriber, in events. A subscriber
+    /// that falls this far behind is disconnected (its receiver sees
+    /// the stream end) rather than growing an unbounded queue inside
+    /// the service. Clamped to at least 1.
+    pub subscriber_capacity: usize,
 }
 
 impl ServiceConfig {
     /// A config with `threads` workers, 4 rounds per turn, no
-    /// persistence.
+    /// persistence, and room for 1024 buffered events per subscriber.
     pub fn new(threads: usize) -> Self {
         ServiceConfig {
             threads: threads.max(1),
@@ -135,6 +140,7 @@ impl ServiceConfig {
             seed: 0,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            subscriber_capacity: 1024,
         }
     }
 
@@ -159,6 +165,12 @@ impl ServiceConfig {
     /// Sets the durable checkpoint cadence, in turns.
     pub fn with_checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Sets the per-subscriber progress buffer, in events.
+    pub fn with_subscriber_capacity(mut self, capacity: usize) -> Self {
+        self.subscriber_capacity = capacity.max(1);
         self
     }
 }
@@ -187,6 +199,16 @@ pub enum EventKind {
     Checkpointed {
         /// Turns executed when the snapshot was taken.
         turn: u64,
+    },
+    /// The job's adaptive portfolio fired one or more plateau
+    /// escalations during a turn (see
+    /// [`EscalationConfig`](wdm_core::EscalationConfig)).
+    Escalated {
+        /// The turn in which the events fired.
+        turn: u64,
+        /// Total escalation events over the job's lifetime, including
+        /// any from before a checkpoint resume.
+        total: usize,
     },
     /// The job reached a terminal outcome.
     Finished {
@@ -251,7 +273,7 @@ type Task = Box<dyn FnOnce() + Send>;
 struct ServiceState {
     jobs: Vec<JobEntry>,
     tasks: VecDeque<Task>,
-    subscribers: Vec<Sender<ProgressEvent>>,
+    subscribers: Vec<SyncSender<ProgressEvent>>,
     shutdown: bool,
 }
 
@@ -269,12 +291,18 @@ impl ServiceInner {
         self.state.lock().expect(LOCK)
     }
 
-    /// Delivers an event to every live subscriber, dropping closed
-    /// ones.
+    /// Delivers an event to every live subscriber. Subscriber buffers
+    /// are bounded ([`ServiceConfig::subscriber_capacity`]): emission
+    /// never blocks the scheduler, and a subscriber whose buffer is
+    /// full — it stopped draining, or drains slower than events arrive
+    /// — is disconnected along with closed ones. Its receiver observes
+    /// the stream ending, the same signal a shutdown sends, instead of
+    /// silently losing interior events.
     fn emit(&self, state: &mut ServiceState, event: ProgressEvent) {
-        state
-            .subscribers
-            .retain(|tx| tx.send(event.clone()).is_ok());
+        state.subscribers.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+        });
     }
 }
 
@@ -342,9 +370,13 @@ impl ServiceHandle {
     }
 
     /// Subscribes to the progress stream. Events from before the
-    /// subscription are not replayed.
+    /// subscription are not replayed. The stream buffers at most
+    /// [`ServiceConfig::subscriber_capacity`] undrained events; a
+    /// subscriber that falls further behind is disconnected (the
+    /// receiver sees the stream end) so slow consumers bound the
+    /// service's memory instead of growing it.
     pub fn subscribe(&self) -> Receiver<ProgressEvent> {
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(self.inner.config.subscriber_capacity.max(1));
         self.inner.lock().subscribers.push(tx);
         rx
     }
@@ -572,6 +604,13 @@ fn run_turn(inner: &ServiceInner, index: usize, weight: usize) {
         None => AdaptivePortfolio::new(&*wd, &config, &backends, &cancel),
     };
 
+    // Escalations that fired before this turn are recorded in the
+    // checkpoint; anything beyond that count fired during this turn.
+    let prior_escalations = checkpoint
+        .as_ref()
+        .and_then(|c| c.escalation.as_ref())
+        .map_or(0, |e| e.events);
+
     let rounds = inner.config.rounds_per_turn.max(1).saturating_mul(weight);
     let mut live = true;
     for _ in 0..rounds {
@@ -579,6 +618,22 @@ fn run_turn(inner: &ServiceInner, index: usize, weight: usize) {
             live = false;
             break;
         }
+    }
+
+    let total_escalations = portfolio.escalations();
+    if total_escalations > prior_escalations {
+        let mut state = inner.lock();
+        inner.emit(
+            &mut state,
+            ProgressEvent {
+                job: JobId(index),
+                name: name.clone(),
+                kind: EventKind::Escalated {
+                    turn,
+                    total: total_escalations,
+                },
+            },
+        );
     }
 
     if live {

@@ -21,8 +21,9 @@ use proptest::prelude::*;
 use wdm::core::adaptive::minimize_weak_distance_adaptive;
 use wdm::core::driver::{
     minimize_weak_distance, minimize_weak_distance_cancellable, minimize_weak_distance_portfolio,
-    AnalysisConfig, BackendKind, PortfolioPolicy, PortfolioRun,
+    AnalysisConfig, BackendKind, EscalationConfig, PortfolioPolicy, PortfolioRun,
 };
+use wdm::core::AdaptivePortfolio;
 use wdm::core::boundary::BoundaryWeakDistance;
 use wdm::core::weak_distance::FnWeakDistance;
 use wdm::ir::{programs, ModuleProgram};
@@ -148,6 +149,63 @@ fn adaptive_scheduler_is_deterministic_at_any_thread_count() {
         assert_portfolios_identical(&free, &reference_free, &format!("zero-free, {threads} threads"));
         let hit = minimize_weak_distance_portfolio(&solvable(), &config, &BackendKind::all());
         assert_portfolios_identical(&hit, &reference_hit, &format!("solvable, {threads} threads"));
+    }
+}
+
+proptest! {
+    /// Mid-run escalation does not disturb slice invariance: a portfolio
+    /// driven with a random worker count per scheduler round — so
+    /// escalation arms join mid-slice at arbitrary points of the
+    /// schedule — produces the plain adaptive run bit for bit. The
+    /// saturating threshold makes the detector fire on every run, so
+    /// every case genuinely exercises arms spawned after round zero.
+    #[test]
+    fn escalating_portfolio_is_worker_slice_invariant(
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+        offset in 0.25f64..64.0,
+        workers in proptest::collection::vec(1usize..9, 1..8),
+    ) {
+        let wd = move || {
+            FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], move |x: &[f64]| {
+                shaped(kind, x[0]).abs() + offset
+            })
+        };
+        // Six rounds keep the shared pool above the worst-case probe
+        // burn (an arm that cannot pause mid-step may spend its whole
+        // per-round budget in one slice, as MultiStart does on the
+        // all-overflow objective), so the detector always gets a fold
+        // with budget left to escalate into.
+        let config = AnalysisConfig::quick(seed)
+            .with_rounds(6)
+            .with_max_evals(1_000)
+            .with_escalation(
+                EscalationConfig::default().with_threshold(2.0).with_patience(1),
+            );
+        let backends = BackendKind::all();
+        let reference = minimize_weak_distance_adaptive(&wd(), &config, &backends);
+        prop_assert!(
+            reference.entries.len() > backends.len(),
+            "the saturating threshold escalated (seed {seed}, kind {kind}, offset {offset})"
+        );
+
+        let objective = wd();
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&objective, &config, &backends, &cancel);
+        let mut i = 0usize;
+        while portfolio.round(workers[i % workers.len()]) {
+            i += 1;
+            prop_assert!(i < 10_000, "runaway scheduling");
+        }
+        portfolio.finalize();
+        let sliced = portfolio.into_run();
+
+        prop_assert_eq!(sliced.winner, reference.winner);
+        prop_assert_eq!(sliced.entries.len(), reference.entries.len());
+        for (a, b) in sliced.entries.iter().zip(&reference.entries) {
+            prop_assert_eq!(a.backend, b.backend);
+            common::assert_runs_identical(&a.run, &b.run, &format!("{:?}", a.backend));
+        }
     }
 }
 

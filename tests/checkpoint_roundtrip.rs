@@ -17,7 +17,7 @@ mod common;
 use common::{shaped, trace_bits};
 use proptest::prelude::*;
 use wdm::core::adaptive::minimize_weak_distance_adaptive;
-use wdm::core::driver::{AnalysisConfig, BackendKind};
+use wdm::core::driver::{AnalysisConfig, BackendKind, EscalationConfig};
 use wdm::core::weak_distance::FnWeakDistance;
 use wdm::core::AdaptivePortfolio;
 use wdm::mo::stepped::StepStatus;
@@ -129,6 +129,71 @@ proptest! {
         let resumed = portfolio.into_run();
 
         prop_assert_eq!(resumed.winner, reference.winner);
+        for (a, b) in resumed.entries.iter().zip(&reference.entries) {
+            prop_assert_eq!(a.backend, b.backend);
+            common::assert_runs_identical(&a.run, &b.run, &format!("{:?}", a.backend));
+        }
+    }
+}
+
+proptest! {
+    /// Escalation state round trip: with a saturating plateau threshold
+    /// the detector fires on every run, so each checkpoint hop carries
+    /// live escalation state — spawned-arm recipes, detector counters,
+    /// pending handoffs. Restoring after every scheduler round still
+    /// replays the never-paused run bit for bit, escalation arms
+    /// included.
+    #[test]
+    fn escalation_state_survives_json_round_trips(
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+        offset in 0.25f64..64.0,
+    ) {
+        let wd = move || {
+            FnWeakDistance::new(1, vec![Interval::symmetric(100.0)], move |x: &[f64]| {
+                shaped(kind, x[0]).abs() + offset
+            })
+        };
+        // Rewards live in [0, 1], so a threshold of 2 reads every quiet
+        // stretch as a plateau: escalation is guaranteed, not workload-
+        // dependent. Six rounds keep the pool above the worst-case
+        // probe burn (an arm that cannot pause mid-step may spend its
+        // whole per-round budget in one slice), so the detector always
+        // folds with budget left to escalate into.
+        let config = AnalysisConfig::quick(seed)
+            .with_rounds(6)
+            .with_max_evals(1_000)
+            .with_escalation(
+                EscalationConfig::default().with_threshold(2.0).with_patience(1),
+            );
+        let backends = BackendKind::all();
+        let reference = minimize_weak_distance_adaptive(&wd(), &config, &backends);
+        prop_assert!(
+            reference.entries.len() > backends.len(),
+            "the saturating threshold escalated"
+        );
+
+        let objective = wd();
+        let cancel = CancelToken::new();
+        let mut portfolio = AdaptivePortfolio::new(&objective, &config, &backends, &cancel);
+        let mut rounds = 0usize;
+        while portfolio.round(1) {
+            let json = serde_json::to_string(
+                &portfolio.checkpoint().expect("portfolio checkpoints between rounds"),
+            )
+            .expect("render portfolio checkpoint");
+            drop(portfolio);
+            let ckpt = serde_json::from_str(&json).expect("parse portfolio checkpoint");
+            portfolio = AdaptivePortfolio::restore(&objective, &config, &backends, &cancel, &ckpt)
+                .expect("restore own checkpoint");
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "runaway scheduling");
+        }
+        portfolio.finalize();
+        let resumed = portfolio.into_run();
+
+        prop_assert_eq!(resumed.winner, reference.winner);
+        prop_assert_eq!(resumed.entries.len(), reference.entries.len());
         for (a, b) in resumed.entries.iter().zip(&reference.entries) {
             prop_assert_eq!(a.backend, b.backend);
             common::assert_runs_identical(&a.run, &b.run, &format!("{:?}", a.backend));

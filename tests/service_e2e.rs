@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use common::matrix_threads;
 use wdm::core::adaptive::minimize_weak_distance_adaptive;
-use wdm::core::driver::{AnalysisConfig, BackendKind, PortfolioRun};
+use wdm::core::driver::{AnalysisConfig, BackendKind, EscalationConfig, PortfolioRun};
 use wdm::core::weak_distance::FnWeakDistance;
 use wdm::core::WeakDistance;
 use wdm::runtime::Interval;
@@ -248,7 +248,7 @@ fn progress_stream_reports_admission_slices_and_termination() {
                         assert!(leader.is_some(), "a round has run, so a leader exists");
                         progress_evals.push(evals);
                     }
-                    EventKind::Checkpointed { .. } => {}
+                    EventKind::Checkpointed { .. } | EventKind::Escalated { .. } => {}
                     EventKind::Finished { found, .. } => {
                         assert!(!found, "tenant 0 is zero-free");
                         terminal = Some(event.kind.clone());
@@ -298,6 +298,135 @@ fn opaque_tasks_share_the_pool_with_analysis_jobs() {
     let solo = minimize_weak_distance_adaptive(&*tenant(2), &tenant_config(2), &BackendKind::all());
     assert_portfolios_identical(&handle.wait(id).run, &solo, "mixed tenancy");
     service.shutdown();
+}
+
+#[test]
+fn slow_subscribers_are_disconnected_without_stalling_the_service() {
+    let service = AnalysisService::start(
+        ServiceConfig::new(matrix_threads())
+            .with_rounds_per_turn(1)
+            .with_subscriber_capacity(1),
+    );
+    let handle = service.handle();
+    // This subscriber never drains: its one-event buffer fills at
+    // admission, so the next emission finds it full and drops it.
+    let stalled = handle.subscribe();
+    let id = handle
+        .submit(JobSpec::new("slow-sub", tenant(0), tenant_config(0)))
+        .expect("service accepts submissions");
+    // The job runs to its terminal outcome even though nobody drains
+    // the subscriber: emission never blocks on a full buffer.
+    let outcome = handle.wait(id);
+    assert!(!outcome.run.outcome().is_found(), "tenant 0 is zero-free");
+    // The stalled stream has ended — its sender was dropped on the
+    // first overflowing emission while the service is still running —
+    // so iterating it terminates with only the buffered event.
+    let drained: Vec<_> = stalled.iter().collect();
+    assert_eq!(drained.len(), 1, "one event fit the buffer");
+    assert!(
+        matches!(drained[0].kind, EventKind::Admitted { .. }),
+        "the buffered event is the admission"
+    );
+    service.shutdown();
+}
+
+/// The Section-6-style plateau tenant: a flat shelf around an offset
+/// center inside a huge domain, zero-free so the job cannot finish
+/// before the kill. The adaptive scheduler's rewards flatline on the
+/// shelf, which fires a plateau escalation mid-run (the seed is the one
+/// `wdm_core`'s escalation tests verify to escalate).
+fn plateau_tenant() -> Arc<dyn WeakDistance> {
+    let c = 8.765_432_1e6;
+    Arc::new(FnWeakDistance::new(
+        1,
+        vec![Interval::symmetric(1.0e8)],
+        move |x: &[f64]| {
+            let d = (x[0] - c).abs();
+            if d <= 500.0 {
+                0.5
+            } else {
+                0.5 + (d - 500.0) / 1.0e8
+            }
+        },
+    ))
+}
+
+fn plateau_config() -> AnalysisConfig {
+    AnalysisConfig::quick(43)
+        .with_rounds(2)
+        .with_max_evals(6_000)
+        .with_escalation(
+            EscalationConfig::default()
+                .with_threshold(0.25)
+                .with_patience(2)
+                .with_tighten(1.5e-5),
+        )
+}
+
+#[test]
+fn escalation_events_stream_and_survive_kill_and_resume() {
+    let backends = BackendKind::all();
+    let solo = minimize_weak_distance_adaptive(&*plateau_tenant(), &plateau_config(), &backends);
+    let dir = scratch_dir("esc-resume");
+
+    // Phase 1: run until an escalation has fired and the turn that
+    // contains it has checkpointed to disk, then stop mid-run.
+    {
+        let service = AnalysisService::start(
+            ServiceConfig::new(matrix_threads())
+                .with_rounds_per_turn(1)
+                .with_checkpoint_dir(&dir),
+        );
+        let handle = service.handle();
+        let events = handle.subscribe();
+        handle
+            .submit(JobSpec::new("plateau", plateau_tenant(), plateau_config()))
+            .expect("service accepts submissions");
+        let mut escalated_total = 0usize;
+        loop {
+            let event = events
+                .recv_timeout(EVENT_TIMEOUT)
+                .expect("progress before kill");
+            match event.kind {
+                EventKind::Escalated { total, .. } => {
+                    assert!(
+                        total > escalated_total,
+                        "escalation totals grow strictly: {total} after {escalated_total}"
+                    );
+                    escalated_total = total;
+                }
+                EventKind::Checkpointed { .. } if escalated_total > 0 => break,
+                EventKind::Finished { .. } | EventKind::Cancelled => {
+                    panic!("zero-free plateau tenant finished before the kill")
+                }
+                _ => {}
+            }
+        }
+        service.shutdown();
+    }
+    assert!(
+        dir.join("job-0.json").exists(),
+        "durable checkpoint with escalation state"
+    );
+
+    // Phase 2: a fresh service over the same directory resumes the job
+    // — escalation-spawned arms, detector counters and event totals
+    // included — and replays to the solo outcome bit-identically.
+    {
+        let service = AnalysisService::start(
+            ServiceConfig::new(matrix_threads())
+                .with_rounds_per_turn(1)
+                .with_checkpoint_dir(&dir),
+        );
+        let handle = service.handle();
+        let id = handle
+            .submit(JobSpec::new("plateau", plateau_tenant(), plateau_config()))
+            .expect("service accepts submissions");
+        let outcome = handle.wait(id);
+        assert_portfolios_identical(&outcome.run, &solo, "resumed plateau tenant");
+        service.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
